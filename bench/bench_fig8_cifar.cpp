@@ -1,0 +1,108 @@
+// Fig. 8(b)/(c): grayscale CIFAR-10 reconstruction.
+//
+//  (b) train-MSE trajectories of SQ-VAE, CVAE, SQ-AE, CAE (LSD 18, i.e.
+//      2 patches) on 32x32 grayscale images;
+//  (c) three test images with their classical-AE and SQ-AE
+//      reconstructions, rendered as ASCII (after 20 epochs both show the
+//      sketch of the input — the paper's qualitative finding).
+#include "bench_common.h"
+#include "data/cifar_gray.h"
+#include "data/digits.h"
+#include "models/classical.h"
+#include "models/scalable_quantum.h"
+#include "models/trainer.h"
+
+using namespace sqvae;
+using namespace sqvae::models;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  if (!bench::parse_or_die(flags, argc, argv)) return 0;
+  const bench::BenchScale scale = bench::scale_from_flags(flags);
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+
+  Rng data_rng = rng.split();
+  const auto cifar = data::make_cifar_gray(scale.cifar_count, data_rng);
+  Rng split_rng = rng.split();
+  const data::TrainTestSplit split =
+      data::train_test_split(cifar.features, 0.15, split_rng);
+
+  struct Entry {
+    std::string name;
+    std::vector<double> curve;
+  };
+  std::vector<Entry> series;
+
+  TrainConfig qconfig;
+  qconfig.epochs = scale.epochs;
+  qconfig.batch_size = scale.batch_size;
+  qconfig.quantum_lr = 0.03;
+  qconfig.classical_lr = 0.01;
+  TrainConfig cconfig = qconfig;
+  cconfig.classical_lr = 0.001;
+
+  ScalableQuantumConfig sqc;
+  sqc.input_dim = 1024;
+  sqc.patches = 2;  // LSD 18, the panel's configuration
+  sqc.entangling_layers = 5;
+
+  Rng r1 = rng.split();
+  auto sq_vae = make_sq_vae(sqc, r1);
+  Rng r2 = rng.split();
+  ClassicalVae cvae(classical_config_1024(18), r2);
+  Rng r3 = rng.split();
+  auto sq_ae = make_sq_ae(sqc, r3);
+  Rng r4 = rng.split();
+  ClassicalAe cae(classical_config_1024(18), r4);
+
+  auto fit = [&](Autoencoder& m, const TrainConfig& cfg, const char* name,
+                 Rng& r) {
+    std::vector<double> curve;
+    for (const EpochStats& e :
+         Trainer(m, cfg).fit(split.train.samples, nullptr, r)) {
+      curve.push_back(e.train_mse);
+    }
+    series.push_back({name, curve});
+  };
+  fit(*sq_vae, qconfig, "SQ-VAE", r1);
+  fit(cvae, cconfig, "CVAE", r2);
+  fit(*sq_ae, qconfig, "SQ-AE", r3);
+  fit(cae, cconfig, "CAE", r4);
+
+  std::vector<std::string> header = {"epoch"};
+  for (const Entry& s : series) header.push_back(s.name);
+  Table table(header);
+  for (std::size_t e = 0; e < scale.epochs; ++e) {
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    for (const Entry& s : series) row.push_back(Table::fmt(s.curve[e]));
+    table.add_row(row);
+  }
+  bench::emit("Fig. 8(b): train MSE on grayscale CIFAR-like images (LSD 18)",
+              table, flags);
+
+  // ---- Panel (c): reconstructions ---------------------------------------
+  std::printf("== Fig. 8(c): reconstructions (input / AE / SQ-AE) ==\n");
+  Matrix inputs(3, 1024);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t c = 0; c < 1024; ++c) {
+      inputs(i, c) = split.test.samples(i, c);
+    }
+  }
+  const Matrix cae_recon = cae.reconstruct(inputs, r4);
+  const Matrix sq_recon = sq_ae->reconstruct(inputs, r3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string in_art = data::ascii_image(inputs.row(i), 32, 1.0);
+    const std::string cae_art = data::ascii_image(cae_recon.row(i), 32, 1.0);
+    const std::string sq_art = data::ascii_image(sq_recon.row(i), 32, 1.0);
+    std::printf("-- test image %zu --\n", i);
+    for (int line = 0; line < 32; ++line) {
+      std::printf("%.*s  %.*s  %.*s\n", 32, in_art.c_str() + line * 33, 32,
+                  cae_art.c_str() + line * 33, 32, sq_art.c_str() + line * 33);
+    }
+    std::printf("MSE: AE %.4f, SQ-AE %.4f\n",
+                sqvae::mse(inputs.row(i), cae_recon.row(i)),
+                sqvae::mse(inputs.row(i), sq_recon.row(i)));
+  }
+  return 0;
+}

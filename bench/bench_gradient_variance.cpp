@@ -1,0 +1,73 @@
+// Trainability ablation: gradient variance of random patched circuits.
+//
+// The paper motivates its depth study (Fig. 6) with You & Wu's result on
+// spurious local minima and selects moderate depth; the complementary
+// barren-plateau phenomenon (McClean et al. 2018) says the variance of
+// dE/dtheta over random initialisations decays exponentially with circuit
+// width for deep random circuits. This bench measures Var[dE/dtheta_0]
+// (E = <Z_0>) over random parameter draws as a function of qubits and
+// layers — quantifying why the patched architecture's *small* per-patch
+// circuits (6-9 qubits) remain trainable where a holistic wide circuit
+// would flatten.
+#include <cmath>
+
+#include "bench_common.h"
+#include "qsim/adjoint.h"
+#include "qsim/observable.h"
+
+using namespace sqvae;
+using namespace sqvae::qsim;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  flags.add_int("draws", 200, "random initialisations per configuration");
+  if (!bench::parse_or_die(flags, argc, argv)) return 0;
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const int draws = static_cast<int>(flags.get_int("draws"));
+
+  Table table({"qubits", "layers", "Var[dE/dtheta_mid]", "mean |grad|"});
+  for (int qubits : {2, 4, 6, 8, 10}) {
+    for (int layers : {1, 5, 20}) {
+      Circuit c(qubits);
+      c.strongly_entangling_layers(layers, 0);
+      const auto diag = z_diagonal(qubits, 0);
+      const Statevector initial(qubits);
+      // Track a mid-circuit RY angle: slots cycle (phi, theta, omega) per
+      // Rot, and RZ angles acting on computational-basis inputs have
+      // identically zero gradient at slot 0, so pick the theta slot of a
+      // Rot near the circuit's middle.
+      const int tracked =
+          (c.num_param_slots() / 2) - ((c.num_param_slots() / 2) % 3) + 1;
+
+      double sum = 0.0, sum_sq = 0.0, mean_abs = 0.0;
+      std::vector<double> params(
+          static_cast<std::size_t>(c.num_param_slots()));
+      for (int d = 0; d < draws; ++d) {
+        for (double& p : params) {
+          p = rng.uniform(-3.14159265, 3.14159265);
+        }
+        const AdjointResult res = adjoint_gradient(c, params, initial, diag);
+        const double g0 =
+            res.param_grads[static_cast<std::size_t>(tracked)];
+        sum += g0;
+        sum_sq += g0 * g0;
+        double abs_total = 0.0;
+        for (double g : res.param_grads) abs_total += std::abs(g);
+        mean_abs += abs_total / static_cast<double>(res.param_grads.size());
+      }
+      const double mean = sum / draws;
+      const double variance = sum_sq / draws - mean * mean;
+      table.add_row({std::to_string(qubits), std::to_string(layers),
+                     Table::fmt(variance, 6), Table::fmt(mean_abs / draws, 6)});
+    }
+  }
+  bench::emit(
+      "Gradient variance vs circuit width/depth (barren-plateau ablation)",
+      table, flags);
+  std::printf(
+      "expected shape: variance decays roughly exponentially with qubit\n"
+      "count at depth >= 5 (2-design regime), motivating small per-patch\n"
+      "circuits in the scalable architecture.\n");
+  return 0;
+}

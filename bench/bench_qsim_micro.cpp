@@ -1,0 +1,155 @@
+// Simulator micro-benchmarks (google-benchmark) and the gradient-method
+// ablation called out in DESIGN.md §4: adjoint differentiation vs
+// parameter shift vs finite differences, gate-kernel throughput vs qubit
+// count, and the patched-vs-holistic circuit cost that motivates the
+// scalable architecture.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "common/rng.h"
+#include "qsim/adjoint.h"
+#include "qsim/circuit.h"
+#include "qsim/embedding.h"
+#include "qsim/observable.h"
+#include "qsim/paramshift.h"
+
+namespace {
+
+using namespace sqvae;
+using namespace sqvae::qsim;
+
+std::vector<double> random_params(int count, Rng& rng) {
+  std::vector<double> p(static_cast<std::size_t>(count));
+  for (double& v : p) v = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  return p;
+}
+
+void BM_GateKernelSingleQubit(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  Statevector sv(qubits);
+  const Mat2 ry = gate_matrix(GateKind::kRY, 0.3);
+  for (auto _ : state) {
+    sv.apply_single(ry, 0);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_GateKernelSingleQubit)->DenseRange(4, 12, 2);
+
+void BM_GateKernelCnot(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  Statevector sv(qubits);
+  for (auto _ : state) {
+    sv.apply_cnot(0, qubits - 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_GateKernelCnot)->DenseRange(4, 12, 2);
+
+void BM_CircuitForward(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const int layers = static_cast<int>(state.range(1));
+  Rng rng(1);
+  Circuit c(qubits);
+  c.strongly_entangling_layers(layers, 0);
+  const auto params = random_params(c.num_param_slots(), rng);
+  for (auto _ : state) {
+    Statevector sv = run_from_zero(c, params);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_CircuitForward)
+    ->Args({6, 3})
+    ->Args({7, 5})
+    ->Args({9, 5})
+    ->Args({10, 3});
+
+// --- Gradient-method ablation: same circuit, three engines. -------------
+void BM_GradientAdjoint(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const int layers = static_cast<int>(state.range(1));
+  Rng rng(2);
+  Circuit c(qubits);
+  c.strongly_entangling_layers(layers, 0);
+  const auto params = random_params(c.num_param_slots(), rng);
+  const auto diag = weighted_z_diagonal(
+      qubits, std::vector<double>(static_cast<std::size_t>(qubits), 1.0));
+  const Statevector initial(qubits);
+  for (auto _ : state) {
+    auto result = adjoint_gradient(c, params, initial, diag);
+    benchmark::DoNotOptimize(result.param_grads.data());
+  }
+  state.counters["params"] = static_cast<double>(params.size());
+}
+BENCHMARK(BM_GradientAdjoint)->Args({6, 3})->Args({7, 5})->Args({9, 5});
+
+void BM_GradientParameterShift(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const int layers = static_cast<int>(state.range(1));
+  Rng rng(2);
+  Circuit c(qubits);
+  c.strongly_entangling_layers(layers, 0);
+  const auto params = random_params(c.num_param_slots(), rng);
+  const auto diag = weighted_z_diagonal(
+      qubits, std::vector<double>(static_cast<std::size_t>(qubits), 1.0));
+  const Statevector initial(qubits);
+  for (auto _ : state) {
+    auto grads = parameter_shift_gradient(c, params, initial, diag);
+    benchmark::DoNotOptimize(grads.data());
+  }
+  state.counters["params"] = static_cast<double>(params.size());
+}
+BENCHMARK(BM_GradientParameterShift)->Args({6, 3})->Args({7, 5});
+
+void BM_GradientFiniteDifference(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const int layers = static_cast<int>(state.range(1));
+  Rng rng(2);
+  Circuit c(qubits);
+  c.strongly_entangling_layers(layers, 0);
+  const auto params = random_params(c.num_param_slots(), rng);
+  const auto diag = weighted_z_diagonal(
+      qubits, std::vector<double>(static_cast<std::size_t>(qubits), 1.0));
+  const Statevector initial(qubits);
+  for (auto _ : state) {
+    auto grads = finite_difference_gradient(c, params, initial, diag);
+    benchmark::DoNotOptimize(grads.data());
+  }
+}
+BENCHMARK(BM_GradientFiniteDifference)->Args({6, 3});
+
+// --- Patched vs holistic: total forward cost of embedding 1024 features.
+// One 10-qubit circuit (holistic) vs p circuits of log2(1024/p) qubits.
+void BM_PatchedForward1024(benchmark::State& state) {
+  const int patches = static_cast<int>(state.range(0));
+  const int qubits = [&] {
+    int q = 0;
+    while ((1024 / patches) > (1 << q)) ++q;
+    return q;
+  }();
+  Rng rng(3);
+  Circuit c(qubits);
+  c.strongly_entangling_layers(5, 0);
+  const auto params = random_params(c.num_param_slots(), rng);
+  std::vector<double> features(static_cast<std::size_t>(1024 / patches));
+  for (double& f : features) f = rng.uniform(0, 5);
+  for (auto _ : state) {
+    for (int p = 0; p < patches; ++p) {
+      Statevector sv = amplitude_embedding(features, qubits);
+      run(c, params, sv);
+      auto out = expectations_z(sv);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.counters["qubits_per_patch"] = qubits;
+  state.counters["lsd"] = patches * qubits;
+}
+BENCHMARK(BM_PatchedForward1024)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// High-dimensional image reconstruction with patched quantum circuits —
+// the Fig. 8(b-c) scenario at example scale: a 4-patch SQ-AE against a
+// classical AE on 32x32 grayscale images, with ASCII before/after views.
+//
+//   $ ./image_reconstruction
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/cifar_gray.h"
+#include "data/digits.h"
+#include "models/classical.h"
+#include "models/scalable_quantum.h"
+#include "models/trainer.h"
+
+using namespace sqvae;
+
+int main() {
+  Rng rng(7);
+  const data::CifarGrayDataset images = data::make_cifar_gray(160, rng);
+  Rng split_rng = rng.split();
+  const data::TrainTestSplit split =
+      data::train_test_split(images.features, 0.15, split_rng);
+
+  // SQ-AE: 4 patches x 8 qubits => LSD 32.
+  models::ScalableQuantumConfig config;
+  config.input_dim = 1024;
+  config.patches = 4;
+  config.entangling_layers = 5;
+  auto sq_ae = models::make_sq_ae(config, rng);
+
+  Rng c_rng = rng.split();
+  models::ClassicalAe cae(models::classical_config_1024(32), c_rng);
+
+  std::printf("SQ-AE: LSD %zu, %zu quantum + %zu classical parameters\n",
+              sq_ae->latent_dim(), sq_ae->num_quantum_parameters(),
+              sq_ae->num_classical_parameters());
+  std::printf("classical AE: %zu parameters\n\n",
+              cae.num_classical_parameters());
+
+  models::TrainConfig qtrain;
+  qtrain.epochs = 6;
+  qtrain.batch_size = 32;
+  qtrain.quantum_lr = 0.03;
+  qtrain.classical_lr = 0.01;
+  std::printf("training SQ-AE...\n");
+  models::Trainer(*sq_ae, qtrain)
+      .fit(split.train.samples, nullptr, rng, [](const models::EpochStats& e) {
+        std::printf("  epoch %zu: MSE %.4f (%.1fs)\n", e.epoch + 1,
+                    e.train_mse, e.seconds);
+      });
+
+  models::TrainConfig ctrain = qtrain;
+  ctrain.classical_lr = 0.001;
+  std::printf("training classical AE...\n");
+  models::Trainer(cae, ctrain)
+      .fit(split.train.samples, nullptr, c_rng,
+           [](const models::EpochStats& e) {
+             std::printf("  epoch %zu: MSE %.4f\n", e.epoch + 1, e.train_mse);
+           });
+
+  Matrix test(2, 1024);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t c = 0; c < 1024; ++c) {
+      test(i, c) = split.test.samples(i, c);
+    }
+  }
+  const Matrix sq_recon = sq_ae->reconstruct(test, rng);
+  const Matrix cae_recon = cae.reconstruct(test, c_rng);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::printf("\n== test image %zu: input | classical AE | SQ-AE ==\n", i);
+    const std::string in_art = data::ascii_image(test.row(i), 32, 1.0);
+    const std::string c_art = data::ascii_image(cae_recon.row(i), 32, 1.0);
+    const std::string q_art = data::ascii_image(sq_recon.row(i), 32, 1.0);
+    for (int line = 0; line < 32; ++line) {
+      std::printf("%.*s  %.*s  %.*s\n", 32, in_art.c_str() + line * 33, 32,
+                  c_art.c_str() + line * 33, 32, q_art.c_str() + line * 33);
+    }
+    std::printf("MSE: classical %.4f, SQ-AE %.4f\n",
+                sqvae::mse(test.row(i), cae_recon.row(i)),
+                sqvae::mse(test.row(i), sq_recon.row(i)));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Latent-space exploration with a trained SQ-VAE: encode two molecules,
+// interpolate between their latent codes, and decode each step back to a
+// molecule — the instance-level matching capability (encoder + generator)
+// that the paper argues VAEs contribute to ligand/receptor workflows.
+//
+//   $ ./latent_space_explorer
+#include <cstdio>
+
+#include "autodiff/tape.h"
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/molecule_dataset.h"
+#include "models/generation.h"
+#include "models/scalable_quantum.h"
+#include "models/trainer.h"
+
+using namespace sqvae;
+
+int main() {
+  Rng rng(11);
+  constexpr std::size_t kDim = 16;
+
+  data::MoleculeGenConfig gen = data::pdbbind_config(static_cast<int>(kDim));
+  gen.min_atoms = 8;
+  data::MoleculeDataset ligands;
+  ligands.matrix_dim = kDim;
+  ligands.molecules = data::generate_molecules(gen, 160, rng);
+  const data::Dataset features = ligands.features();
+
+  models::ScalableQuantumConfig config;
+  config.input_dim = kDim * kDim;
+  config.patches = 2;
+  config.entangling_layers = 4;
+  auto model = models::make_sq_vae(config, rng);
+
+  models::TrainConfig train;
+  train.epochs = 8;
+  train.batch_size = 32;
+  train.quantum_lr = 0.03;
+  train.classical_lr = 0.01;
+  std::printf("training SQ-VAE (LSD %zu)...\n", model->latent_dim());
+  models::Trainer(*model, train)
+      .fit(features.samples, nullptr, rng, [](const models::EpochStats& e) {
+        std::printf("  epoch %zu: MSE %.4f\n", e.epoch + 1, e.train_mse);
+      });
+
+  // Encode two dataset molecules to latent codes (the encoder mean path:
+  // encode() runs patches + FC; for a trained VAE the mu head would apply,
+  // but interpolation between encoder outputs illustrates the same space).
+  Matrix pair(2, kDim * kDim);
+  for (std::size_t c = 0; c < kDim * kDim; ++c) {
+    pair(0, c) = features.samples(0, c);
+    pair(1, c) = features.samples(1, c);
+  }
+  ad::Tape tape;
+  ad::Var z = model->encode(tape, tape.constant(pair));
+  const Matrix z_value = tape.value(z);
+
+  const auto s0 = chem::to_smiles(ligands.molecules[0]);
+  const auto s1 = chem::to_smiles(ligands.molecules[1]);
+  std::printf("\nendpoint A: %s\nendpoint B: %s\n",
+              s0 ? s0->c_str() : "?", s1 ? s1->c_str() : "?");
+
+  std::printf("\nlatent interpolation (decode + sanitize at each step):\n");
+  const int steps = 7;
+  for (int k = 0; k < steps; ++k) {
+    const double t = static_cast<double>(k) / (steps - 1);
+    Matrix zt(1, model->latent_dim());
+    for (std::size_t c = 0; c < model->latent_dim(); ++c) {
+      zt(0, c) = (1.0 - t) * z_value(0, c) + t * z_value(1, c);
+    }
+    ad::Tape decode_tape;
+    ad::Var out = model->decode(decode_tape, decode_tape.constant(zt));
+    const Matrix decoded = decode_tape.value(out);
+    const chem::Molecule m = models::decode_sample(decoded.row(0), kDim);
+    const auto smiles = chem::to_smiles(m);
+    std::printf("  t=%.2f  atoms %2d  %s\n", t, m.num_atoms(),
+                smiles ? smiles->c_str() : "(empty)");
+  }
+  return 0;
+}

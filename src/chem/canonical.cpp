@@ -1,0 +1,143 @@
+#include "chem/canonical.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+namespace sqvae::chem {
+
+namespace {
+
+/// Initial invariant: element, degree, implicit H count, aromaticity,
+/// and the multiset of incident bond orders (packed).
+std::uint64_t initial_invariant(const Molecule& mol, int i) {
+  std::uint64_t inv = 0;
+  inv = inv * 8 + static_cast<std::uint64_t>(element_code(mol.atom(i)));
+  inv = inv * 8 + static_cast<std::uint64_t>(mol.degree(i));
+  inv = inv * 8 + static_cast<std::uint64_t>(mol.implicit_hydrogens(i));
+  inv = inv * 2 + (mol.is_aromatic_atom(i) ? 1u : 0u);
+  int order_counts[5] = {0, 0, 0, 0, 0};
+  for (int v : mol.neighbors(i)) {
+    ++order_counts[bond_code(mol.bond_between(i, v))];
+  }
+  for (int c : order_counts) inv = inv * 33 + static_cast<std::uint64_t>(c);
+  return inv;
+}
+
+}  // namespace
+
+std::vector<int> canonical_ranks(const Molecule& mol) {
+  const int n = mol.num_atoms();
+  std::vector<int> rank(static_cast<std::size_t>(n), 0);
+  if (n == 0) return rank;
+
+  // Start from initial invariants compressed to dense ranks.
+  std::vector<std::uint64_t> inv(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inv[static_cast<std::size_t>(i)] = initial_invariant(mol, i);
+  }
+  auto compress = [&](const std::vector<std::uint64_t>& keys) {
+    std::vector<std::uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<int> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      out[i] = static_cast<int>(
+          std::lower_bound(sorted.begin(), sorted.end(), keys[i]) -
+          sorted.begin());
+    }
+    return out;
+  };
+
+  std::vector<int> current = compress(inv);
+  int distinct = 1 + *std::max_element(current.begin(), current.end());
+
+  // Morgan refinement: fold sorted neighbor ranks into each atom's key
+  // until the number of distinct classes stops growing.
+  for (int iter = 0; iter < n; ++iter) {
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> neigh;
+      for (int v : mol.neighbors(i)) {
+        // Combine the neighbor's class with the connecting bond's code so
+        // that bond patterns distinguish otherwise-equal neighbors.
+        neigh.push_back(current[static_cast<std::size_t>(v)] * 5 +
+                        bond_code(mol.bond_between(i, v)));
+      }
+      std::sort(neigh.begin(), neigh.end());
+      std::uint64_t k = static_cast<std::uint64_t>(
+          current[static_cast<std::size_t>(i)]);
+      for (int v : neigh) {
+        k = k * 1000003ull + static_cast<std::uint64_t>(v) + 1ull;
+      }
+      keys[static_cast<std::size_t>(i)] = k;
+    }
+    std::vector<int> next = compress(keys);
+    const int next_distinct = 1 + *std::max_element(next.begin(), next.end());
+    if (next_distinct == distinct) break;
+    current = std::move(next);
+    distinct = next_distinct;
+  }
+
+  // Break remaining ties (symmetric atoms) deterministically: repeatedly
+  // single out the lowest-class tied atom and re-refine. This yields a full
+  // permutation while keeping isomorphism invariance for asymmetric parts.
+  while (distinct < n) {
+    // Find the smallest class with more than one member and promote its
+    // first member (by current class ordering, then by a canonical BFS
+    // order from already-ranked atoms — index order is a deterministic
+    // final fallback that is stable across encodings after refinement).
+    std::map<int, std::vector<int>> classes;
+    for (int i = 0; i < n; ++i) {
+      classes[current[static_cast<std::size_t>(i)]].push_back(i);
+    }
+    int chosen = -1;
+    for (const auto& [cls, members] : classes) {
+      if (members.size() > 1) {
+        chosen = members.front();
+        break;
+      }
+    }
+    if (chosen < 0) break;
+    // Promote: give `chosen` a key just below its class peers and refine.
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      keys[static_cast<std::size_t>(i)] =
+          static_cast<std::uint64_t>(current[static_cast<std::size_t>(i)]) *
+              2ull +
+          1ull;
+    }
+    keys[static_cast<std::size_t>(chosen)] -= 1ull;
+    current = compress(keys);
+    // Re-run Morgan refinement with the new seed classes.
+    for (int iter = 0; iter < n; ++iter) {
+      std::vector<std::uint64_t> rkeys(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        std::vector<int> neigh;
+        for (int v : mol.neighbors(i)) {
+          neigh.push_back(current[static_cast<std::size_t>(v)] * 5 +
+                          bond_code(mol.bond_between(i, v)));
+        }
+        std::sort(neigh.begin(), neigh.end());
+        std::uint64_t k = static_cast<std::uint64_t>(
+            current[static_cast<std::size_t>(i)]);
+        for (int v : neigh) {
+          k = k * 1000003ull + static_cast<std::uint64_t>(v) + 1ull;
+        }
+        rkeys[static_cast<std::size_t>(i)] = k;
+      }
+      std::vector<int> next = compress(rkeys);
+      const int next_distinct =
+          1 + *std::max_element(next.begin(), next.end());
+      const int cur_distinct =
+          1 + *std::max_element(current.begin(), current.end());
+      if (next_distinct == cur_distinct) break;
+      current = std::move(next);
+    }
+    distinct = 1 + *std::max_element(current.begin(), current.end());
+  }
+
+  return current;
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,20 @@
+// Canonical atom ranking (Morgan / extended-connectivity refinement).
+//
+// Produces an atom ordering invariant under graph isomorphism, so two
+// differently-indexed encodings of the same molecule yield the same
+// canonical SMILES — the property the round-trip tests and the generation
+// uniqueness metrics rely on.
+#pragma once
+
+#include <vector>
+
+#include "chem/molecule.h"
+
+namespace sqvae::chem {
+
+/// Rank per atom in [0, num_atoms): 0 is the canonical start atom.
+/// Symmetric atoms receive ties broken deterministically (by refined
+/// invariant, then by a canonical BFS), so the result is a permutation.
+std::vector<int> canonical_ranks(const Molecule& mol);
+
+}  // namespace sqvae::chem

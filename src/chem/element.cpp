@@ -1,0 +1,81 @@
+#include "chem/element.h"
+
+namespace sqvae::chem {
+
+bool element_from_code(int code, Element* out) {
+  if (code < 1 || code > 5) return false;
+  *out = static_cast<Element>(code);
+  return true;
+}
+
+bool bond_from_code(int code, BondType* out) {
+  if (code < 0 || code > 4) return false;
+  *out = static_cast<BondType>(code);
+  return true;
+}
+
+std::string element_symbol(Element e) {
+  switch (e) {
+    case Element::kC: return "C";
+    case Element::kN: return "N";
+    case Element::kO: return "O";
+    case Element::kF: return "F";
+    case Element::kS: return "S";
+  }
+  return "?";
+}
+
+bool element_from_symbol(const std::string& symbol, Element* out) {
+  if (symbol == "C") { *out = Element::kC; return true; }
+  if (symbol == "N") { *out = Element::kN; return true; }
+  if (symbol == "O") { *out = Element::kO; return true; }
+  if (symbol == "F") { *out = Element::kF; return true; }
+  if (symbol == "S") { *out = Element::kS; return true; }
+  return false;
+}
+
+double atomic_weight(Element e) {
+  switch (e) {
+    case Element::kC: return 12.011;
+    case Element::kN: return 14.007;
+    case Element::kO: return 15.999;
+    case Element::kF: return 18.998;
+    case Element::kS: return 32.06;
+  }
+  return 0.0;
+}
+
+int default_valence(Element e) {
+  switch (e) {
+    case Element::kC: return 4;
+    case Element::kN: return 3;
+    case Element::kO: return 2;
+    case Element::kF: return 1;
+    case Element::kS: return 2;
+  }
+  return 0;
+}
+
+int max_valence(Element e) {
+  switch (e) {
+    case Element::kC: return 4;
+    case Element::kN: return 3;
+    case Element::kO: return 2;
+    case Element::kF: return 1;
+    case Element::kS: return 6;
+  }
+  return 0;
+}
+
+double bond_order(BondType b) {
+  switch (b) {
+    case BondType::kNone: return 0.0;
+    case BondType::kSingle: return 1.0;
+    case BondType::kDouble: return 2.0;
+    case BondType::kTriple: return 3.0;
+    case BondType::kAromatic: return 1.5;
+  }
+  return 0.0;
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,71 @@
+// Element and bond alphabets.
+//
+// The paper's molecule-matrix encoding (Fig. 3) assigns diagonal codes
+// 1-C, 2-N, 3-O for QM9 and additionally 4-F, 5-S for PDBbind ligands, and
+// off-diagonal bond codes 0-NONE, 1-SINGLE, 2-DOUBLE, 4-AROMATIC (we also
+// carry 3-TRIPLE, which the QM9 alphabet contains even though the paper's
+// example omits it). Only heavy atoms are represented; hydrogens are
+// implicit and derived from default valences as in standard cheminformatics
+// toolkits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sqvae::chem {
+
+enum class Element : std::uint8_t {
+  kC = 1,
+  kN = 2,
+  kO = 3,
+  kF = 4,
+  kS = 5,
+};
+
+enum class BondType : std::uint8_t {
+  kNone = 0,
+  kSingle = 1,
+  kDouble = 2,
+  kTriple = 3,
+  kAromatic = 4,
+};
+
+/// All elements of the PDBbind alphabet, in matrix-code order.
+inline constexpr std::array<Element, 5> kAllElements = {
+    Element::kC, Element::kN, Element::kO, Element::kF, Element::kS};
+
+/// Matrix code of an element (1..5).
+inline int element_code(Element e) { return static_cast<int>(e); }
+
+/// Element from a matrix code; returns false when the code is not 1..5.
+bool element_from_code(int code, Element* out);
+
+/// Matrix code of a bond (0..4).
+inline int bond_code(BondType b) { return static_cast<int>(b); }
+
+/// BondType from a matrix code; returns false for codes outside 0..4.
+bool bond_from_code(int code, BondType* out);
+
+/// "C", "N", ... symbol.
+std::string element_symbol(Element e);
+
+/// Element from symbol (case-sensitive, upper case); false if unknown.
+bool element_from_symbol(const std::string& symbol, Element* out);
+
+/// Standard atomic weight (g/mol).
+double atomic_weight(Element e);
+
+/// Default (organic-subset) valence: C 4, N 3, O 2, F 1, S 2.
+int default_valence(Element e);
+
+/// Maximum valence the sanitizer tolerates (S may be hypervalent: 6).
+int max_valence(Element e);
+
+/// Bond order used in valence arithmetic: 1, 2, 3, and 1.5 for aromatic.
+double bond_order(BondType b);
+
+/// Number of electron-pair-donor/acceptor relevant heteroatoms etc. are
+/// derived in descriptors.h; this header only carries per-element basics.
+
+}  // namespace sqvae::chem

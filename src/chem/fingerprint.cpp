@@ -1,0 +1,101 @@
+#include "chem/fingerprint.h"
+
+#include <algorithm>
+
+namespace sqvae::chem {
+
+namespace {
+
+/// Deterministic 64-bit mix (SplitMix64 finalizer).
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t combine(std::uint64_t seed, std::uint64_t value) {
+  return mix(seed * 0x9e3779b97f4a7c15ull + value + 1ull);
+}
+
+/// Radius-0 invariant of an atom: element, degree, H count, aromaticity.
+std::uint64_t atom_invariant(const Molecule& mol, int i) {
+  std::uint64_t inv = 0;
+  inv = combine(inv, static_cast<std::uint64_t>(element_code(mol.atom(i))));
+  inv = combine(inv, static_cast<std::uint64_t>(mol.degree(i)));
+  inv = combine(inv, static_cast<std::uint64_t>(mol.implicit_hydrogens(i)));
+  inv = combine(inv, mol.is_aromatic_atom(i) ? 1u : 0u);
+  return inv;
+}
+
+}  // namespace
+
+Fingerprint morgan_fingerprint(const Molecule& mol, int radius) {
+  Fingerprint fp;
+  const int n = mol.num_atoms();
+  if (n == 0) return fp;
+
+  std::vector<std::uint64_t> env(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    env[static_cast<std::size_t>(i)] = atom_invariant(mol, i);
+    fp.set(env[static_cast<std::size_t>(i)] % kFingerprintBits);
+  }
+
+  // Iteratively widen each environment: fold in the sorted
+  // (bond-code, neighbor-environment) pairs — the ECFP update rule.
+  std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+  for (int r = 1; r <= radius; ++r) {
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::pair<int, std::uint64_t>> neigh;
+      for (int v : mol.neighbors(i)) {
+        neigh.emplace_back(bond_code(mol.bond_between(i, v)),
+                           env[static_cast<std::size_t>(v)]);
+      }
+      std::sort(neigh.begin(), neigh.end());
+      std::uint64_t h = combine(static_cast<std::uint64_t>(r),
+                                env[static_cast<std::size_t>(i)]);
+      for (const auto& [bond, nb_env] : neigh) {
+        h = combine(h, static_cast<std::uint64_t>(bond));
+        h = combine(h, nb_env);
+      }
+      next[static_cast<std::size_t>(i)] = h;
+      fp.set(h % kFingerprintBits);
+    }
+    env.swap(next);
+  }
+  return fp;
+}
+
+double tanimoto(const Fingerprint& a, const Fingerprint& b) {
+  const std::size_t inter = (a & b).count();
+  const std::size_t uni = (a | b).count();
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double internal_diversity(const std::vector<Fingerprint>& fingerprints) {
+  const std::size_t n = fingerprints.size();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sum += 1.0 - tanimoto(fingerprints[i], fingerprints[j]);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double nearest_similarity(const Fingerprint& probe,
+                          const std::vector<Fingerprint>& references) {
+  double best = 0.0;
+  for (const Fingerprint& ref : references) {
+    best = std::max(best, tanimoto(probe, ref));
+  }
+  return best;
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,40 @@
+// Circular (ECFP/Morgan-style) fingerprints and molecular similarity.
+//
+// Generative-chemistry evaluations report diversity and novelty on top of
+// the validity/uniqueness and property metrics of Table II; both need a
+// molecular similarity measure. This module hashes each atom's circular
+// environment of radius 0..R into a fixed-width bit vector (the ECFP
+// construction) and provides Tanimoto similarity over those bit sets —
+// the de-facto standard. Bits are deterministic across runs and platforms
+// (the hash is specified here, not delegated to std::hash).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "chem/molecule.h"
+
+namespace sqvae::chem {
+
+inline constexpr std::size_t kFingerprintBits = 2048;
+using Fingerprint = std::bitset<kFingerprintBits>;
+
+/// ECFP-style circular fingerprint with environments of radius 0..radius
+/// (radius 2 ~ ECFP4).
+Fingerprint morgan_fingerprint(const Molecule& mol, int radius = 2);
+
+/// |a & b| / |a | b|; defined as 1 for two empty fingerprints.
+double tanimoto(const Fingerprint& a, const Fingerprint& b);
+
+/// Mean pairwise (1 - Tanimoto) over a set — the "internal diversity"
+/// metric of generative-model evaluations. Returns 0 for fewer than two
+/// fingerprints.
+double internal_diversity(const std::vector<Fingerprint>& fingerprints);
+
+/// Largest Tanimoto similarity of `probe` against `references`; 0 when
+/// references is empty. 1 - this value is the per-molecule novelty.
+double nearest_similarity(const Fingerprint& probe,
+                          const std::vector<Fingerprint>& references);
+
+}  // namespace sqvae::chem

@@ -1,0 +1,91 @@
+#include "chem/logp.h"
+
+#include <algorithm>
+
+#include "chem/descriptors.h"
+
+namespace sqvae::chem {
+
+namespace {
+
+/// Per-heavy-atom contribution (condensed Wildman-Crippen table).
+double atom_contribution(const AtomEnvironment& env, const Molecule& mol,
+                         int index) {
+  switch (env.element) {
+    case Element::kC:
+      if (env.aromatic) {
+        // Aromatic carbon; slightly lower when substituted by heteroatoms.
+        return env.hetero_neighbors > 0 ? 0.1581 : 0.2955;
+      }
+      if (env.has_triple_bond) return 0.1330;
+      if (env.double_bonded_o > 0) return -0.2783;  // carbonyl carbon
+      if (env.hetero_neighbors > 0) return -0.2035; // C bonded to N/O/F/S
+      return 0.1441;                                 // plain aliphatic C
+    case Element::kN: {
+      if (env.aromatic) return -0.3239;
+      // Amide nitrogen: bonded to a carbonyl carbon.
+      for (int v : mol.neighbors(index)) {
+        if (mol.atom(v) != Element::kC) continue;
+        for (int w : mol.neighbors(v)) {
+          if (mol.atom(w) == Element::kO &&
+              mol.bond_between(v, w) == BondType::kDouble) {
+            return -0.6027;
+          }
+        }
+      }
+      if (env.has_triple_bond) return -0.5660;  // nitrile N
+      return -1.0190;                            // amine
+    }
+    case Element::kO:
+      if (env.aromatic) return 0.1552;
+      if (env.degree == 1 && env.implicit_h == 0) return -0.2893;  // C=O
+      if (env.implicit_h >= 1) return -0.3939;                     // hydroxyl
+      return -0.0684;                                              // ether
+    case Element::kF:
+      return 0.4202;
+    case Element::kS:
+      if (env.aromatic) return 0.6237;
+      return 0.6482;  // thiol/thioether
+  }
+  return 0.0;
+}
+
+/// Contribution of implicit hydrogens, keyed on the heavy atom.
+double hydrogen_contribution(const AtomEnvironment& env) {
+  switch (env.element) {
+    case Element::kC:
+      return 0.1230;  // hydrocarbon H
+    case Element::kN:
+    case Element::kO:
+      return -0.2677;  // H on polar heteroatom
+    case Element::kS:
+      return 0.0000;
+    case Element::kF:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double crippen_logp(const Molecule& mol) {
+  if (mol.empty()) return 0.0;
+  const RingInfo rings = perceive_rings(mol);
+  const std::vector<AtomEnvironment> envs = atom_environments(mol, rings);
+  double logp = 0.0;
+  for (int i = 0; i < mol.num_atoms(); ++i) {
+    const AtomEnvironment& env = envs[static_cast<std::size_t>(i)];
+    logp += atom_contribution(env, mol, i);
+    logp += env.implicit_h * hydrogen_contribution(env);
+  }
+  return logp;
+}
+
+double normalized_logp(const Molecule& mol) {
+  constexpr double kMin = -2.12178879609;
+  constexpr double kMax = 6.0422004495;
+  const double v = (crippen_logp(mol) - kMin) / (kMax - kMin);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,186 @@
+#include "chem/molecule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sqvae::chem {
+
+int Molecule::add_atom(Element e) {
+  atoms_.push_back(e);
+  adjacency_.emplace_back();
+  return static_cast<int>(atoms_.size()) - 1;
+}
+
+int Molecule::find_bond(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  for (int bi : adjacency_[static_cast<std::size_t>(a)]) {
+    const Bond& bd = bonds_[static_cast<std::size_t>(bi)];
+    if (bd.a == a && bd.b == b) return bi;
+  }
+  return -1;
+}
+
+void Molecule::set_bond(int a, int b, BondType type) {
+  assert(a >= 0 && a < num_atoms() && b >= 0 && b < num_atoms() && a != b);
+  if (a > b) std::swap(a, b);
+  const int existing = find_bond(a, b);
+  if (type == BondType::kNone) {
+    if (existing < 0) return;
+    // Remove bond `existing`; swap-with-last keeps indices dense, then fix
+    // adjacency references to the moved bond.
+    const int last = static_cast<int>(bonds_.size()) - 1;
+    auto detach = [this](int atom, int bond_index) {
+      auto& adj = adjacency_[static_cast<std::size_t>(atom)];
+      adj.erase(std::find(adj.begin(), adj.end(), bond_index));
+    };
+    detach(bonds_[static_cast<std::size_t>(existing)].a, existing);
+    detach(bonds_[static_cast<std::size_t>(existing)].b, existing);
+    if (existing != last) {
+      const Bond moved = bonds_[static_cast<std::size_t>(last)];
+      bonds_[static_cast<std::size_t>(existing)] = moved;
+      auto relabel = [this, last, existing](int atom) {
+        auto& adj = adjacency_[static_cast<std::size_t>(atom)];
+        *std::find(adj.begin(), adj.end(), last) = existing;
+      };
+      relabel(moved.a);
+      relabel(moved.b);
+    }
+    bonds_.pop_back();
+    return;
+  }
+  if (existing >= 0) {
+    bonds_[static_cast<std::size_t>(existing)].type = type;
+    return;
+  }
+  bonds_.push_back(Bond{a, b, type});
+  const int bi = static_cast<int>(bonds_.size()) - 1;
+  adjacency_[static_cast<std::size_t>(a)].push_back(bi);
+  adjacency_[static_cast<std::size_t>(b)].push_back(bi);
+}
+
+BondType Molecule::bond_between(int a, int b) const {
+  assert(a >= 0 && a < num_atoms() && b >= 0 && b < num_atoms());
+  if (a == b) return BondType::kNone;
+  const int bi = find_bond(a, b);
+  return bi < 0 ? BondType::kNone : bonds_[static_cast<std::size_t>(bi)].type;
+}
+
+std::vector<int> Molecule::neighbors(int i) const {
+  std::vector<int> out;
+  out.reserve(adjacency_[static_cast<std::size_t>(i)].size());
+  for (int bi : adjacency_[static_cast<std::size_t>(i)]) {
+    const Bond& b = bonds_[static_cast<std::size_t>(bi)];
+    out.push_back(b.a == i ? b.b : b.a);
+  }
+  return out;
+}
+
+int Molecule::degree(int i) const {
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(i)].size());
+}
+
+double Molecule::valence_used(int i) const {
+  double v = 0.0;
+  for (int bi : adjacency_[static_cast<std::size_t>(i)]) {
+    v += bond_order(bonds_[static_cast<std::size_t>(bi)].type);
+  }
+  return v;
+}
+
+int Molecule::implicit_hydrogens(int i) const {
+  const Element e = atom(i);
+  const int used = static_cast<int>(std::ceil(valence_used(i) - 1e-9));
+  if (e == Element::kS) {
+    for (int allowed : {2, 4, 6}) {
+      if (used <= allowed) return allowed - used;
+    }
+    return 0;
+  }
+  const int dv = default_valence(e);
+  return used >= dv ? 0 : dv - used;
+}
+
+int Molecule::aromatic_bond_count(int i) const {
+  int count = 0;
+  for (int bi : adjacency_[static_cast<std::size_t>(i)]) {
+    if (bonds_[static_cast<std::size_t>(bi)].type == BondType::kAromatic) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double Molecule::max_allowed_valence(int i) const {
+  double allowed = static_cast<double>(max_valence(atom(i)));
+  if (aromatic_bond_count(i) >= 3) allowed += 0.5;
+  return allowed;
+}
+
+bool Molecule::valences_ok() const {
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (valence_used(i) > max_allowed_valence(i) + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> Molecule::components(int* num_components) const {
+  std::vector<int> comp(static_cast<std::size_t>(num_atoms()), -1);
+  int count = 0;
+  std::vector<int> stack;
+  for (int start = 0; start < num_atoms(); ++start) {
+    if (comp[static_cast<std::size_t>(start)] >= 0) continue;
+    stack.push_back(start);
+    comp[static_cast<std::size_t>(start)] = count;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : neighbors(u)) {
+        if (comp[static_cast<std::size_t>(v)] < 0) {
+          comp[static_cast<std::size_t>(v)] = count;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++count;
+  }
+  if (num_components != nullptr) *num_components = count;
+  return comp;
+}
+
+Molecule Molecule::subgraph(const std::vector<int>& keep) const {
+  Molecule sub;
+  std::vector<int> remap(static_cast<std::size_t>(num_atoms()), -1);
+  for (int old_index : keep) {
+    remap[static_cast<std::size_t>(old_index)] = sub.add_atom(atom(old_index));
+  }
+  for (const Bond& b : bonds_) {
+    const int na = remap[static_cast<std::size_t>(b.a)];
+    const int nb = remap[static_cast<std::size_t>(b.b)];
+    if (na >= 0 && nb >= 0) sub.set_bond(na, nb, b.type);
+  }
+  return sub;
+}
+
+double Molecule::molecular_weight() const {
+  constexpr double kHydrogenWeight = 1.008;
+  double w = 0.0;
+  for (int i = 0; i < num_atoms(); ++i) {
+    w += atomic_weight(atom(i));
+    w += kHydrogenWeight * implicit_hydrogens(i);
+  }
+  return w;
+}
+
+bool Molecule::is_aromatic_atom(int i) const {
+  for (int bi : adjacency_[static_cast<std::size_t>(i)]) {
+    if (bonds_[static_cast<std::size_t>(bi)].type == BondType::kAromatic) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sqvae::chem

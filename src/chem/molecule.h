@@ -1,0 +1,97 @@
+// Heavy-atom molecular graph.
+//
+// Atoms are indexed 0..n-1 in insertion order; bonds are undirected and
+// stored once (a < b normalised). Hydrogens are implicit: each atom's
+// implicit-H count is the gap between its consumed valence (sum of bond
+// orders, aromatic = 1.5) and the smallest allowed valence state of its
+// element that covers the consumption. This mirrors how RDKit fills
+// valences for the organic subset and is what the descriptor and property
+// code (HBD, logP hydrogen contributions, molecular weight) relies on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/element.h"
+
+namespace sqvae::chem {
+
+struct Bond {
+  int a = 0;  // smaller atom index
+  int b = 0;  // larger atom index
+  BondType type = BondType::kSingle;
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+
+  /// Adds an atom; returns its index.
+  int add_atom(Element e);
+
+  /// Adds a bond between distinct existing atoms. Replaces the type when a
+  /// bond between a and b already exists. BondType::kNone removes the bond.
+  void set_bond(int a, int b, BondType type);
+
+  /// BondType::kNone when no bond exists.
+  BondType bond_between(int a, int b) const;
+
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  int num_bonds() const { return static_cast<int>(bonds_.size()); }
+  bool empty() const { return atoms_.empty(); }
+
+  Element atom(int i) const { return atoms_[static_cast<std::size_t>(i)]; }
+  const std::vector<Element>& atoms() const { return atoms_; }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  /// Indices of atoms bonded to `i`.
+  std::vector<int> neighbors(int i) const;
+
+  /// Number of explicit (heavy-atom) bonds at atom `i`.
+  int degree(int i) const;
+
+  /// Sum of bond orders at atom `i` (aromatic counts 1.5).
+  double valence_used(int i) const;
+
+  /// Implicit hydrogens on atom `i`: the smallest allowed valence state of
+  /// the element minus ceil(valence_used), floored at 0. For sulfur the
+  /// allowed states are {2, 4, 6}; other elements have a single state.
+  int implicit_hydrogens(int i) const;
+
+  /// Number of aromatic bonds incident to atom `i`.
+  int aromatic_bond_count(int i) const;
+
+  /// Valence ceiling for atom `i`: max_valence(element), plus a 0.5
+  /// allowance when the atom carries >= 3 aromatic bonds. Under the
+  /// order-1.5 aromatic arithmetic a ring-fusion carbon (naphthalene
+  /// bridgehead) consumes 4.5, which is chemically a plain tetravalent
+  /// carbon — the allowance admits exactly that case.
+  double max_allowed_valence(int i) const;
+
+  /// True when every atom's consumed valence fits within
+  /// max_allowed_valence. (Aromatic-bonds-must-be-in-rings is a structural
+  /// condition checked by chem::is_valid in sanitize.h.)
+  bool valences_ok() const;
+
+  /// Connected components; component id per atom, and the component count.
+  std::vector<int> components(int* num_components = nullptr) const;
+
+  /// The induced subgraph on `keep` (indices into this molecule), with
+  /// atoms re-indexed in `keep` order.
+  Molecule subgraph(const std::vector<int>& keep) const;
+
+  /// Molecular weight including implicit hydrogens.
+  double molecular_weight() const;
+
+  /// True when atom i participates in at least one aromatic bond.
+  bool is_aromatic_atom(int i) const;
+
+ private:
+  int find_bond(int a, int b) const;  // index into bonds_, -1 if absent
+
+  std::vector<Element> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<std::vector<int>> adjacency_;  // atom -> bond indices
+};
+
+}  // namespace sqvae::chem

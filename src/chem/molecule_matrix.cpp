@@ -1,0 +1,74 @@
+#include "chem/molecule_matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqvae::chem {
+
+sqvae::Matrix encode_molecule(const Molecule& mol, std::size_t dim) {
+  assert(static_cast<std::size_t>(mol.num_atoms()) <= dim);
+  sqvae::Matrix m(dim, dim);
+  for (int i = 0; i < mol.num_atoms(); ++i) {
+    m(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) =
+        static_cast<double>(element_code(mol.atom(i)));
+  }
+  for (const Bond& b : mol.bonds()) {
+    const double code = static_cast<double>(bond_code(b.type));
+    m(static_cast<std::size_t>(b.a), static_cast<std::size_t>(b.b)) = code;
+    m(static_cast<std::size_t>(b.b), static_cast<std::size_t>(b.a)) = code;
+  }
+  return m;
+}
+
+namespace {
+int round_clamped(double v, int lo, int hi) {
+  const int r = static_cast<int>(std::lround(v));
+  return r < lo ? lo : (r > hi ? hi : r);
+}
+}  // namespace
+
+Molecule decode_molecule(const sqvae::Matrix& m) {
+  assert(m.rows() == m.cols());
+  const std::size_t dim = m.rows();
+
+  // Which matrix rows correspond to atoms, and their elements.
+  Molecule mol;
+  std::vector<int> atom_of_row(dim, -1);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const int code = round_clamped(m(i, i), 0, 5);
+    Element e;
+    if (element_from_code(code, &e)) {
+      atom_of_row[i] = mol.add_atom(e);
+    }
+  }
+
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (atom_of_row[i] < 0) continue;
+    for (std::size_t j = i + 1; j < dim; ++j) {
+      if (atom_of_row[j] < 0) continue;
+      const double sym = 0.5 * (m(i, j) + m(j, i));
+      const int code = round_clamped(sym, 0, 4);
+      BondType b;
+      if (bond_from_code(code, &b) && b != BondType::kNone) {
+        mol.set_bond(atom_of_row[i], atom_of_row[j], b);
+      }
+    }
+  }
+  return mol;
+}
+
+std::vector<double> molecule_to_features(const Molecule& mol,
+                                         std::size_t dim) {
+  const sqvae::Matrix m = encode_molecule(mol, dim);
+  return std::vector<double>(m.data(), m.data() + m.size());
+}
+
+Molecule features_to_molecule(const std::vector<double>& features,
+                              std::size_t dim) {
+  assert(features.size() == dim * dim);
+  sqvae::Matrix m(dim, dim);
+  for (std::size_t i = 0; i < features.size(); ++i) m[i] = features[i];
+  return decode_molecule(m);
+}
+
+}  // namespace sqvae::chem

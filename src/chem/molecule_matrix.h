@@ -1,0 +1,40 @@
+// Molecule-matrix codec (Fig. 3 of the paper).
+//
+// A molecule with n heavy atoms maps to a dim x dim symmetric matrix
+// (dim >= n, padded with zeros): diagonal element (i,i) carries the atom
+// code of atom i, off-diagonal (i,j) carries the bond code between atoms i
+// and j. The autoencoders treat the flattened matrix as the feature vector;
+// decode() is the inverse used on network outputs, rounding each entry to
+// the nearest legal code. Rounded matrices usually violate valence rules,
+// so decode is normally followed by sanitize() (see sanitize.h) before any
+// property is computed — the same role RDKit sanitization plays in the
+// paper's evaluation.
+#pragma once
+
+#include "chem/molecule.h"
+#include "common/matrix.h"
+
+namespace sqvae::chem {
+
+/// Encodes `mol` (n atoms, n <= dim) into a dim x dim matrix.
+sqvae::Matrix encode_molecule(const Molecule& mol, std::size_t dim);
+
+/// Decodes a (possibly non-integral, possibly asymmetric) matrix into a
+/// molecular graph:
+///  1. symmetrise: m <- (m + m^T)/2;
+///  2. round the diagonal to the nearest integer in [0,5]; 0 = no atom;
+///  3. round off-diagonals between present atoms to the nearest integer in
+///     [0,4] (3 decodes to TRIPLE);
+/// Entries involving absent atoms are ignored. No valence repair here.
+Molecule decode_molecule(const sqvae::Matrix& m);
+
+/// Flattens encode_molecule row-major into a feature vector (the model
+/// input format).
+std::vector<double> molecule_to_features(const Molecule& mol,
+                                         std::size_t dim);
+
+/// Reshapes a dim*dim feature vector to a matrix and decodes it.
+Molecule features_to_molecule(const std::vector<double>& features,
+                              std::size_t dim);
+
+}  // namespace sqvae::chem

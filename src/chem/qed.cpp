@@ -1,0 +1,97 @@
+#include "chem/qed.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "chem/logp.h"
+
+namespace sqvae::chem {
+
+namespace {
+
+struct AdsParams {
+  double a, b, c, d, e, f, dmax;
+};
+
+// Published ADS parameter rows (Bickerton et al. 2012, as in RDKit qed.py):
+// order MW, ALOGP, HBA, HBD, PSA, ROTB, AROM, ALERTS.
+constexpr std::array<AdsParams, 8> kAds = {{
+    {2.817065973, 392.5754953, 290.7489764, 2.419764353, 49.22325677,
+     65.37051707, 104.9805561},
+    {3.172690585, 137.8624751, 2.534937431, 4.581497897, 0.822739154,
+     0.576295591, 131.3186604},
+    {2.948620388, 160.4605972, 3.615294657, 4.435986202, 0.290141953,
+     1.300669958, 148.7763046},
+    {1.618662227, 1010.051101, 0.985094388, 0.000000001, 0.713820843,
+     0.920922555, 258.1632616},
+    {1.876861559, 125.2232657, 62.90773554, 87.83366614, 12.01999824,
+     28.51324732, 104.5686167},
+    {0.010000000, 272.4121427, 2.558379970, 1.565547684, 1.271567166,
+     2.758063707, 105.4420403},
+    {3.217788970, 957.7374108, 2.274627939, 0.000000001, 1.317690384,
+     0.375760881, 312.3372610},
+    {0.010000000, 1199.094025, -0.09002883, 0.000000001, 0.185904477,
+     0.875193782, 417.7253140},
+}};
+
+// Mean weights from the QED paper ("QED_w,mo" weighting).
+constexpr std::array<double, 8> kMeanWeights = {0.66, 0.46, 0.05, 0.61,
+                                                0.06, 0.65, 0.48, 0.95};
+
+double ads(const AdsParams& p, double x) {
+  const double exp1 = 1.0 + std::exp(-(x - p.c + p.d / 2.0) / p.e);
+  const double exp2 = 1.0 + std::exp(-(x - p.c - p.d / 2.0) / p.f);
+  const double v = p.a + p.b / exp1 * (1.0 - 1.0 / exp2);
+  return v / p.dmax;
+}
+
+double qed_from_properties(const QedProperties& props,
+                           const std::array<double, 8>& weights) {
+  const std::array<double, 8> values = {props.mw,   props.alogp, props.hba,
+                                        props.hbd,  props.psa,   props.rotb,
+                                        props.arom, props.alerts};
+  double log_sum = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double d =
+        std::clamp(ads(kAds[i], values[i]), 1e-6, 1.0);
+    log_sum += weights[i] * std::log(d);
+    weight_sum += weights[i];
+  }
+  return std::exp(log_sum / weight_sum);
+}
+
+}  // namespace
+
+QedProperties qed_properties(const Molecule& mol) {
+  const Descriptors d = compute_descriptors(mol);
+  QedProperties p;
+  p.mw = d.molecular_weight;
+  p.alogp = crippen_logp(mol);
+  p.hba = static_cast<double>(d.hba);
+  p.hbd = static_cast<double>(d.hbd);
+  p.psa = d.tpsa;
+  p.rotb = static_cast<double>(d.rotatable_bonds);
+  p.arom = static_cast<double>(d.aromatic_rings);
+  p.alerts = static_cast<double>(d.alerts);
+  return p;
+}
+
+double qed_desirability(int index, double value) {
+  return std::clamp(ads(kAds[static_cast<std::size_t>(index)], value), 0.0,
+                    1.0);
+}
+
+double qed(const Molecule& mol) {
+  if (mol.empty()) return 0.0;
+  return qed_from_properties(qed_properties(mol), kMeanWeights);
+}
+
+double qed_unweighted(const Molecule& mol) {
+  if (mol.empty()) return 0.0;
+  constexpr std::array<double, 8> ones = {1, 1, 1, 1, 1, 1, 1, 1};
+  return qed_from_properties(qed_properties(mol), ones);
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,114 @@
+#include "chem/rings.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace sqvae::chem {
+
+namespace {
+
+/// Shortest path from s to t avoiding the direct edge (s, t); empty when
+/// unreachable or longer than max_len.
+std::vector<int> shortest_path_avoiding_edge(const Molecule& mol, int s, int t,
+                                             int max_len) {
+  std::vector<int> parent(static_cast<std::size_t>(mol.num_atoms()), -2);
+  std::queue<std::pair<int, int>> q;  // (node, depth)
+  q.emplace(s, 0);
+  parent[static_cast<std::size_t>(s)] = -1;
+  while (!q.empty()) {
+    const auto [u, depth] = q.front();
+    q.pop();
+    if (depth >= max_len) continue;
+    for (int v : mol.neighbors(u)) {
+      if (u == s && v == t) continue;  // skip the direct edge
+      if (parent[static_cast<std::size_t>(v)] != -2) continue;
+      parent[static_cast<std::size_t>(v)] = u;
+      if (v == t) {
+        std::vector<int> path;
+        for (int x = t; x != -1; x = parent[static_cast<std::size_t>(x)]) {
+          path.push_back(x);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      q.emplace(v, depth + 1);
+    }
+  }
+  return {};
+}
+
+/// Canonical key of a ring: sorted atom list.
+std::vector<int> ring_key(const Ring& r) {
+  std::vector<int> k = r;
+  std::sort(k.begin(), k.end());
+  return k;
+}
+
+}  // namespace
+
+RingInfo perceive_rings(const Molecule& mol, int max_ring_size) {
+  RingInfo info;
+  info.atom_in_ring.assign(static_cast<std::size_t>(mol.num_atoms()), false);
+  info.bond_in_ring.assign(static_cast<std::size_t>(mol.num_bonds()), false);
+
+  std::set<std::vector<int>> seen;
+  for (const Bond& b : mol.bonds()) {
+    // The smallest ring through bond (a, b) is the shortest a->b path not
+    // using the bond itself, closed by the bond.
+    const std::vector<int> path =
+        shortest_path_avoiding_edge(mol, b.a, b.b, max_ring_size - 1);
+    if (path.size() < 3) continue;  // no ring through this bond
+    Ring ring = path;               // a ... b, closed by bond (a, b)
+    auto key = ring_key(ring);
+    if (seen.insert(std::move(key)).second) {
+      info.rings.push_back(std::move(ring));
+    }
+  }
+
+  for (const Ring& ring : info.rings) {
+    for (std::size_t k = 0; k < ring.size(); ++k) {
+      info.atom_in_ring[static_cast<std::size_t>(ring[k])] = true;
+    }
+  }
+  // Mark ring bonds: bond (a, b) is in a ring when a and b are adjacent in
+  // some perceived ring cycle.
+  for (std::size_t bi = 0; bi < mol.bonds().size(); ++bi) {
+    const Bond& b = mol.bonds()[bi];
+    for (const Ring& ring : info.rings) {
+      const std::size_t n = ring.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        const int u = ring[k];
+        const int v = ring[(k + 1) % n];
+        if ((u == b.a && v == b.b) || (u == b.b && v == b.a)) {
+          info.bond_in_ring[bi] = true;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+int cyclomatic_number(const Molecule& mol) {
+  int components = 0;
+  mol.components(&components);
+  return mol.num_bonds() - mol.num_atoms() + components;
+}
+
+std::vector<Ring> aromatic_rings(const Molecule& mol, const RingInfo& info) {
+  std::vector<Ring> out;
+  for (const Ring& ring : info.rings) {
+    bool all_aromatic = true;
+    const std::size_t n = ring.size();
+    for (std::size_t k = 0; k < n && all_aromatic; ++k) {
+      if (mol.bond_between(ring[k], ring[(k + 1) % n]) !=
+          BondType::kAromatic) {
+        all_aromatic = false;
+      }
+    }
+    if (all_aromatic) out.push_back(ring);
+  }
+  return out;
+}
+
+}  // namespace sqvae::chem

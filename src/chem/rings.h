@@ -1,0 +1,40 @@
+// Ring perception.
+//
+// Computes a small set of smallest rings (an SSSR-style cycle basis) via
+// per-bond shortest-cycle search: for every bond (u, v), the shortest path
+// from u to v avoiding that bond closes the smallest ring through it.
+// Deduplicated, this yields the relevant rings for the descriptor layer
+// (ring counts, aromatic-ring detection, ring membership of atoms/bonds).
+// The cyclomatic number bonds - atoms + components upper-bounds the basis
+// size and is exposed for invariant checks in tests.
+#pragma once
+
+#include <vector>
+
+#include "chem/molecule.h"
+
+namespace sqvae::chem {
+
+/// One ring as an ordered atom cycle (no repeated atoms; size >= 3).
+using Ring = std::vector<int>;
+
+struct RingInfo {
+  std::vector<Ring> rings;
+  /// Per-atom flag: member of at least one perceived ring.
+  std::vector<bool> atom_in_ring;
+  /// Per-bond flag (indexed like Molecule::bonds()).
+  std::vector<bool> bond_in_ring;
+};
+
+/// Perceives rings of `mol`. Rings larger than `max_ring_size` are ignored
+/// (drug-likeness descriptors only care about small rings; 12 covers
+/// everything the generators emit, macrocycle handling is in sa_score).
+RingInfo perceive_rings(const Molecule& mol, int max_ring_size = 12);
+
+/// bonds - atoms + components: the number of independent cycles.
+int cyclomatic_number(const Molecule& mol);
+
+/// Rings whose bonds are all aromatic.
+std::vector<Ring> aromatic_rings(const Molecule& mol, const RingInfo& info);
+
+}  // namespace sqvae::chem

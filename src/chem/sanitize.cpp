@@ -1,0 +1,134 @@
+#include "chem/sanitize.h"
+
+#include <algorithm>
+
+#include "chem/rings.h"
+
+namespace sqvae::chem {
+
+namespace {
+
+BondType demoted(BondType t) {
+  switch (t) {
+    case BondType::kTriple: return BondType::kDouble;
+    case BondType::kDouble: return BondType::kSingle;
+    case BondType::kAromatic: return BondType::kSingle;
+    case BondType::kSingle: return BondType::kNone;
+    case BondType::kNone: return BondType::kNone;
+  }
+  return BondType::kNone;
+}
+
+/// Demotes non-ring aromatic bonds to single bonds.
+int fix_acyclic_aromatics(Molecule& mol) {
+  int changes = 0;
+  // Re-perceive after each pass: demotions can break rings that other
+  // aromatic bonds relied on.
+  for (bool changed = true; changed;) {
+    changed = false;
+    const RingInfo info = perceive_rings(mol);
+    for (std::size_t bi = 0; bi < mol.bonds().size(); ++bi) {
+      const Bond b = mol.bonds()[bi];
+      if (b.type == BondType::kAromatic && !info.bond_in_ring[bi]) {
+        mol.set_bond(b.a, b.b, BondType::kSingle);
+        ++changes;
+        changed = true;
+        break;  // bond indices may have shifted; restart the scan
+      }
+    }
+  }
+  return changes;
+}
+
+}  // namespace
+
+Molecule sanitize(const Molecule& mol, SanitizeStats* stats) {
+  SanitizeStats local;
+  Molecule m = mol;
+
+  local.aromatic_demotions = fix_acyclic_aromatics(m);
+
+  // Valence repair loop. Terminates: every demotion strictly decreases the
+  // total bond order.
+  for (;;) {
+    // Most-over-valent atom.
+    int worst = -1;
+    double worst_excess = 1e-9;
+    for (int i = 0; i < m.num_atoms(); ++i) {
+      const double excess = m.valence_used(i) - m.max_allowed_valence(i);
+      if (excess > worst_excess) {
+        worst_excess = excess;
+        worst = i;
+      }
+    }
+    if (worst < 0) break;
+
+    // Highest-order incident bond; ties by (neighbor excess, atom index).
+    int best_neighbor = -1;
+    BondType best_type = BondType::kNone;
+    for (int v : m.neighbors(worst)) {
+      const BondType t = m.bond_between(worst, v);
+      const bool better =
+          bond_order(t) > bond_order(best_type) ||
+          (bond_order(t) == bond_order(best_type) && v < best_neighbor);
+      if (best_neighbor < 0 || better) {
+        best_neighbor = v;
+        best_type = t;
+      }
+    }
+    if (best_neighbor < 0) break;  // isolated over-valent atom: impossible
+    const BondType next = demoted(best_type);
+    m.set_bond(worst, best_neighbor, next);
+    if (next == BondType::kNone) {
+      ++local.bonds_removed;
+    } else {
+      ++local.valence_demotions;
+    }
+  }
+
+  // Demotions may have created new acyclic aromatic bonds (by removing ring
+  // bonds); repair once more.
+  local.aromatic_demotions += fix_acyclic_aromatics(m);
+
+  // Largest connected component.
+  int num_components = 0;
+  const std::vector<int> comp = m.components(&num_components);
+  if (num_components > 1) {
+    std::vector<int> sizes(static_cast<std::size_t>(num_components), 0);
+    for (int c : comp) ++sizes[static_cast<std::size_t>(c)];
+    int best = 0;
+    for (int c = 1; c < num_components; ++c) {
+      if (sizes[static_cast<std::size_t>(c)] >
+          sizes[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    std::vector<int> keep;
+    for (int i = 0; i < m.num_atoms(); ++i) {
+      if (comp[static_cast<std::size_t>(i)] == best) keep.push_back(i);
+    }
+    local.atoms_dropped = m.num_atoms() - static_cast<int>(keep.size());
+    m = m.subgraph(keep);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return m;
+}
+
+bool is_valid(const Molecule& mol) {
+  if (mol.empty()) return true;
+  if (!mol.valences_ok()) return false;
+  int num_components = 0;
+  mol.components(&num_components);
+  if (num_components > 1) return false;
+  const RingInfo info = perceive_rings(mol);
+  for (std::size_t bi = 0; bi < mol.bonds().size(); ++bi) {
+    if (mol.bonds()[bi].type == BondType::kAromatic &&
+        !info.bond_in_ring[bi]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqvae::chem

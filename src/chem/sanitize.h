@@ -1,0 +1,42 @@
+// Valence repair for decoded molecules.
+//
+// Autoencoder outputs, rounded to the nearest matrix codes, routinely
+// violate chemistry: atoms exceed their maximum valence, aromatic bonds
+// appear outside rings, and the graph may be disconnected. sanitize()
+// repairs a decoded molecule deterministically so that drug-property
+// metrics (Table II) are computed on valid structures — the role RDKit's
+// sanitization plays in the paper's pipeline:
+//
+//  1. aromatic bonds not in any perceived ring are demoted to single;
+//  2. while any atom exceeds its maximum valence, the incident bond with
+//     the highest order at the most-over-valent atom is demoted one step
+//     (AROMATIC -> SINGLE counts as one step; SINGLE -> removed), ties
+//     broken by bond index for determinism;
+//  3. only the largest connected component is kept (ties: the one
+//     containing the lowest atom index).
+//
+// The result is guaranteed to satisfy Molecule::valences_ok() and be
+// connected (or empty).
+#pragma once
+
+#include "chem/molecule.h"
+
+namespace sqvae::chem {
+
+struct SanitizeStats {
+  int aromatic_demotions = 0;
+  int valence_demotions = 0;
+  int bonds_removed = 0;
+  int atoms_dropped = 0;  // removed with smaller fragments
+};
+
+/// Repairs `mol` per the policy above. `stats` (optional) reports what was
+/// changed, which the generation benchmarks log as a validity diagnostic.
+Molecule sanitize(const Molecule& mol, SanitizeStats* stats = nullptr);
+
+/// True when the molecule needs no repair: valences within limits, all
+/// aromatic bonds in rings, single connected component (empty molecules are
+/// valid).
+bool is_valid(const Molecule& mol);
+
+}  // namespace sqvae::chem

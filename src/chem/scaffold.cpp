@@ -1,0 +1,95 @@
+#include "chem/scaffold.h"
+
+#include <map>
+#include <sstream>
+
+#include "chem/descriptors.h"
+#include "chem/logp.h"
+#include "chem/rings.h"
+#include "chem/smiles.h"
+
+namespace sqvae::chem {
+
+Molecule murcko_scaffold(const Molecule& mol) {
+  if (mol.empty()) return Molecule{};
+  const RingInfo rings = perceive_rings(mol);
+  bool any_ring = false;
+  for (bool f : rings.atom_in_ring) any_ring = any_ring || f;
+  if (!any_ring) return Molecule{};  // acyclic: empty scaffold
+
+  // Iteratively prune degree-<=1 atoms that are not ring members. What
+  // remains is rings plus the shortest connecting framework.
+  std::vector<bool> keep(static_cast<std::size_t>(mol.num_atoms()), true);
+  bool changed = true;
+  auto live_degree = [&](int i) {
+    int d = 0;
+    for (int v : mol.neighbors(i)) {
+      if (keep[static_cast<std::size_t>(v)]) ++d;
+    }
+    return d;
+  };
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < mol.num_atoms(); ++i) {
+      if (!keep[static_cast<std::size_t>(i)]) continue;
+      if (rings.atom_in_ring[static_cast<std::size_t>(i)]) continue;
+      if (live_degree(i) <= 1) {
+        keep[static_cast<std::size_t>(i)] = false;
+        changed = true;
+      }
+    }
+  }
+  std::vector<int> kept;
+  for (int i = 0; i < mol.num_atoms(); ++i) {
+    if (keep[static_cast<std::size_t>(i)]) kept.push_back(i);
+  }
+  // Scaffold bonds retain their types; exocyclic double bonds to pruned
+  // atoms disappear with the atoms (standard Murcko simplification).
+  return mol.subgraph(kept);
+}
+
+std::optional<std::string> scaffold_smiles(const Molecule& mol) {
+  const Molecule scaffold = murcko_scaffold(mol);
+  if (scaffold.empty()) return std::nullopt;
+  return to_smiles(scaffold);
+}
+
+LipinskiReport lipinski(const Molecule& mol) {
+  const Descriptors d = compute_descriptors(mol);
+  LipinskiReport report;
+  report.molecular_weight = d.molecular_weight;
+  report.logp = crippen_logp(mol);
+  report.hbd = d.hbd;
+  report.hba = d.hba;
+  if (report.molecular_weight > 500.0) ++report.violations;
+  if (report.logp > 5.0) ++report.violations;
+  if (report.hbd > 5) ++report.violations;
+  if (report.hba > 10) ++report.violations;
+  report.passes = report.violations <= 1;
+  return report;
+}
+
+std::string molecular_formula(const Molecule& mol) {
+  // Hill order: C first, then H, then the rest alphabetically.
+  std::map<std::string, int> counts;
+  int hydrogens = 0;
+  for (int i = 0; i < mol.num_atoms(); ++i) {
+    ++counts[element_symbol(mol.atom(i))];
+    hydrogens += mol.implicit_hydrogens(i);
+  }
+  std::ostringstream os;
+  auto emit = [&os](const std::string& symbol, int count) {
+    if (count == 0) return;
+    os << symbol;
+    if (count > 1) os << count;
+  };
+  emit("C", counts["C"]);
+  emit("H", hydrogens);
+  for (const auto& [symbol, count] : counts) {
+    if (symbol == "C") continue;
+    emit(symbol, count);
+  }
+  return os.str();
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,43 @@
+// Murcko scaffold extraction and Lipinski rule-of-five filtering.
+//
+// The Bemis-Murcko scaffold of a molecule is its ring systems plus the
+// linkers connecting them, with all acyclic side chains pruned — the
+// standard notion of a molecule's "core" used for scaffold-diversity
+// statistics of generated libraries. The Lipinski check is the classic
+// oral-bioavailability screen (MW <= 500, logP <= 5, HBD <= 5, HBA <= 10)
+// reported by drug-discovery pipelines alongside QED.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "chem/molecule.h"
+
+namespace sqvae::chem {
+
+/// Bemis-Murcko scaffold: iteratively removes terminal atoms that are not
+/// part of any ring or ring-ring linker. Acyclic molecules have an empty
+/// scaffold.
+Molecule murcko_scaffold(const Molecule& mol);
+
+/// Canonical SMILES of the scaffold; std::nullopt for acyclic molecules
+/// (empty scaffold).
+std::optional<std::string> scaffold_smiles(const Molecule& mol);
+
+struct LipinskiReport {
+  double molecular_weight = 0.0;
+  double logp = 0.0;
+  int hbd = 0;
+  int hba = 0;
+  int violations = 0;  // 0..4
+  bool passes = true;  // the common "at most one violation" criterion
+};
+
+/// Evaluates the rule of five.
+LipinskiReport lipinski(const Molecule& mol);
+
+/// Hill-notation molecular formula including implicit hydrogens, e.g.
+/// "C6H6", "C2H6O", "CH4N2O".
+std::string molecular_formula(const Molecule& mol);
+
+}  // namespace sqvae::chem

@@ -1,0 +1,309 @@
+#include "chem/smiles.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "chem/canonical.h"
+
+namespace sqvae::chem {
+
+// --------------------------------------------------------------------------
+// Writer
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::pair<int, int> edge_key(int a, int b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// Bond symbol to print before an atom or ring-closure digit.
+std::string bond_symbol(const Molecule& mol, int a, int b) {
+  const BondType t = mol.bond_between(a, b);
+  const bool both_aromatic =
+      mol.is_aromatic_atom(a) && mol.is_aromatic_atom(b);
+  switch (t) {
+    case BondType::kSingle:
+      // Explicit '-' between two aromatic atoms (e.g. biphenyl) — otherwise
+      // the default bond would be read back as aromatic.
+      return both_aromatic ? "-" : "";
+    case BondType::kDouble:
+      return "=";
+    case BondType::kTriple:
+      return "#";
+    case BondType::kAromatic:
+      return "";  // default between two aromatic atoms
+    case BondType::kNone:
+      return "";
+  }
+  return "";
+}
+
+std::string atom_token(const Molecule& mol, int i) {
+  std::string sym = element_symbol(mol.atom(i));
+  if (mol.is_aromatic_atom(i)) {
+    for (char& c : sym) c = static_cast<char>(std::tolower(c));
+  }
+  return sym;
+}
+
+std::string digit_token(int digit) {
+  if (digit < 10) return std::to_string(digit);
+  std::ostringstream os;
+  os << '%';
+  if (digit < 10) os << '0';
+  os << digit;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> to_smiles(const Molecule& mol) {
+  if (mol.empty()) return std::string{};
+  int num_components = 0;
+  mol.components(&num_components);
+  if (num_components != 1) return std::nullopt;
+
+  const std::vector<int> rank = canonical_ranks(mol);
+  const int n = mol.num_atoms();
+
+  int start = 0;
+  for (int i = 1; i < n; ++i) {
+    if (rank[static_cast<std::size_t>(i)] <
+        rank[static_cast<std::size_t>(start)]) {
+      start = i;
+    }
+  }
+  auto by_rank = [&rank](int x, int y) {
+    return rank[static_cast<std::size_t>(x)] <
+           rank[static_cast<std::size_t>(y)];
+  };
+
+  // Pass 1: rank-ordered DFS to classify edges into tree edges and ring
+  // (back) edges, assigning each ring edge a closure digit.
+  std::map<std::pair<int, int>, int> ring_digit;
+  {
+    int next_digit = 1;
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::vector<std::pair<int, int>> stack;  // (atom, parent)
+    stack.emplace_back(start, -1);
+    while (!stack.empty()) {
+      const auto [atom, parent] = stack.back();
+      stack.pop_back();
+      if (seen[static_cast<std::size_t>(atom)]) continue;
+      seen[static_cast<std::size_t>(atom)] = true;
+      std::vector<int> neighbors = mol.neighbors(atom);
+      // Reverse rank order so the stack pops lowest rank first, matching
+      // the writer's traversal below.
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&](int x, int y) { return by_rank(y, x); });
+      for (int v : neighbors) {
+        if (v == parent) continue;
+        if (seen[static_cast<std::size_t>(v)]) {
+          const auto key = edge_key(atom, v);
+          if (!ring_digit.count(key)) ring_digit[key] = next_digit++;
+        } else {
+          stack.emplace_back(v, atom);
+        }
+      }
+    }
+  }
+
+  // Pass 2: emit. Each ring digit is printed at both endpoints.
+  std::ostringstream out;
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::map<std::pair<int, int>, int> digit_prints_left;
+  for (const auto& [k, d] : ring_digit) digit_prints_left[k] = 2;
+
+  struct Frame {
+    int atom = -1;
+    std::vector<int> children;
+    std::size_t next_child = 0;
+    bool opened_paren = false;
+  };
+
+  auto emit_atom = [&](int atom, int parent) {
+    visited[static_cast<std::size_t>(atom)] = true;
+    out << atom_token(mol, atom);
+    std::vector<int> neighbors = mol.neighbors(atom);
+    std::sort(neighbors.begin(), neighbors.end(), by_rank);
+    for (int v : neighbors) {
+      if (v == parent) continue;
+      const auto key = edge_key(atom, v);
+      const auto it = ring_digit.find(key);
+      if (it == ring_digit.end()) continue;
+      auto& left = digit_prints_left[key];
+      if (left == 0) continue;
+      out << bond_symbol(mol, atom, v) << digit_token(it->second);
+      --left;
+    }
+    Frame f;
+    f.atom = atom;
+    for (int v : neighbors) {
+      if (v == parent) continue;
+      if (ring_digit.count(edge_key(atom, v))) continue;  // ring, not tree
+      f.children.push_back(v);
+    }
+    return f;
+  };
+
+  std::vector<Frame> frames;
+  frames.push_back(emit_atom(start, -1));
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.next_child >= f.children.size()) {
+      if (f.opened_paren) out << ')';
+      frames.pop_back();
+      continue;
+    }
+    const int v = f.children[f.next_child++];
+    if (visited[static_cast<std::size_t>(v)]) continue;
+    const bool last = (f.next_child == f.children.size());
+    if (!last) out << '(';
+    out << bond_symbol(mol, f.atom, v);
+    Frame child = emit_atom(v, f.atom);
+    child.opened_paren = !last;
+    frames.push_back(std::move(child));
+  }
+  return out.str();
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct PendingRing {
+  int atom = -1;
+  char bond = 0;  // explicit bond char seen before the digit, 0 = default
+};
+
+/// Resolves a bond given an explicit bond character (0 = default: aromatic
+/// when both atoms are aromatic, single otherwise).
+BondType resolve_bond(char bond_char, bool a_aromatic, bool b_aromatic) {
+  switch (bond_char) {
+    case '-': return BondType::kSingle;
+    case '=': return BondType::kDouble;
+    case '#': return BondType::kTriple;
+    case ':': return BondType::kAromatic;
+    case 0:
+      return (a_aromatic && b_aromatic) ? BondType::kAromatic
+                                        : BondType::kSingle;
+    default: return BondType::kNone;
+  }
+}
+
+}  // namespace
+
+std::optional<Molecule> from_smiles(const std::string& smiles) {
+  Molecule mol;
+  std::vector<bool> aromatic_flag;
+  std::vector<int> branch_stack;
+  int previous_atom = -1;
+  char pending_bond = 0;
+  std::map<int, PendingRing> open_rings;
+
+  auto add_parsed_atom = [&](Element e, bool aromatic) {
+    const int idx = mol.add_atom(e);
+    aromatic_flag.push_back(aromatic);
+    if (previous_atom >= 0) {
+      const BondType t = resolve_bond(
+          pending_bond,
+          aromatic_flag[static_cast<std::size_t>(previous_atom)], aromatic);
+      if (t == BondType::kNone) return false;
+      mol.set_bond(previous_atom, idx, t);
+    }
+    previous_atom = idx;
+    pending_bond = 0;
+    return true;
+  };
+
+  auto handle_ring_digit = [&](int digit) {
+    if (previous_atom < 0) return false;
+    auto it = open_rings.find(digit);
+    if (it == open_rings.end()) {
+      open_rings[digit] = PendingRing{previous_atom, pending_bond};
+      pending_bond = 0;
+      return true;
+    }
+    const PendingRing open = it->second;
+    open_rings.erase(it);
+    if (open.atom == previous_atom) return false;
+    // The closure bond may be annotated at either end; explicit wins.
+    const char bond_char = pending_bond ? pending_bond : open.bond;
+    const BondType t = resolve_bond(
+        bond_char, aromatic_flag[static_cast<std::size_t>(open.atom)],
+        aromatic_flag[static_cast<std::size_t>(previous_atom)]);
+    if (t == BondType::kNone) return false;
+    if (mol.bond_between(open.atom, previous_atom) != BondType::kNone) {
+      return false;  // duplicate bond
+    }
+    mol.set_bond(open.atom, previous_atom, t);
+    pending_bond = 0;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < smiles.size(); ++i) {
+    const char c = smiles[i];
+    bool ok = true;
+    switch (c) {
+      case 'C': ok = add_parsed_atom(Element::kC, false); break;
+      case 'N': ok = add_parsed_atom(Element::kN, false); break;
+      case 'O': ok = add_parsed_atom(Element::kO, false); break;
+      case 'F': ok = add_parsed_atom(Element::kF, false); break;
+      case 'S': ok = add_parsed_atom(Element::kS, false); break;
+      case 'c': ok = add_parsed_atom(Element::kC, true); break;
+      case 'n': ok = add_parsed_atom(Element::kN, true); break;
+      case 'o': ok = add_parsed_atom(Element::kO, true); break;
+      case 's': ok = add_parsed_atom(Element::kS, true); break;
+      case '-':
+      case '=':
+      case '#':
+      case ':':
+        ok = (pending_bond == 0);
+        pending_bond = c;
+        break;
+      case '(':
+        ok = (previous_atom >= 0);
+        if (ok) branch_stack.push_back(previous_atom);
+        break;
+      case ')':
+        ok = !branch_stack.empty();
+        if (ok) {
+          previous_atom = branch_stack.back();
+          branch_stack.pop_back();
+        }
+        break;
+      case '%': {
+        if (i + 2 >= smiles.size() ||
+            !std::isdigit(static_cast<unsigned char>(smiles[i + 1])) ||
+            !std::isdigit(static_cast<unsigned char>(smiles[i + 2]))) {
+          return std::nullopt;
+        }
+        const int digit = (smiles[i + 1] - '0') * 10 + (smiles[i + 2] - '0');
+        i += 2;
+        ok = handle_ring_digit(digit);
+        break;
+      }
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          ok = handle_ring_digit(c - '0');
+        } else {
+          return std::nullopt;  // '.', brackets, charges, stereo: unsupported
+        }
+        break;
+    }
+    if (!ok) return std::nullopt;
+  }
+  if (!branch_stack.empty() || !open_rings.empty()) return std::nullopt;
+  if (pending_bond != 0) return std::nullopt;
+  if (mol.empty()) return std::nullopt;
+  if (!mol.valences_ok()) return std::nullopt;
+  return mol;
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,34 @@
+// SMILES reading and writing for the C/N/O/F/S organic subset.
+//
+// Supported grammar (sufficient for every molecule expressible in the
+// paper's molecule-matrix alphabet):
+//   atoms:         C N O F S (aliphatic), c n o s (aromatic)
+//   bonds:         -  =  #  :  and the default bond (single, or aromatic
+//                  between two aromatic atoms)
+//   branches:      ( ... )
+//   ring closures: digits 1-9 and %nn two-digit closures
+//   disconnected:  '.' is rejected (matrices encode single fragments)
+// No charges, isotopes, stereo descriptors, or bracket atoms.
+//
+// to_smiles() emits a canonical form (canonical_ranks ordering), so equal
+// molecules produce byte-identical strings — the uniqueness/novelty metrics
+// of the generation benches depend on this.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "chem/molecule.h"
+
+namespace sqvae::chem {
+
+/// Canonical SMILES for `mol`. Empty molecules produce "".
+/// Multi-fragment molecules are rejected (returns std::nullopt) — encode a
+/// sanitized (single-fragment) molecule instead.
+std::optional<std::string> to_smiles(const Molecule& mol);
+
+/// Parses `smiles` under the grammar above. std::nullopt on any syntax
+/// error, unknown atom, unclosed ring bond, or valence violation.
+std::optional<Molecule> from_smiles(const std::string& smiles);
+
+}  // namespace sqvae::chem

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic component in this repository (dataset generators, weight
+// initialisation, mini-batch shuffling, latent-space sampling) draws from an
+// explicitly seeded sqvae::Rng so that experiments are reproducible
+// run-to-run and machine-to-machine. The generator is a PCG64 variant
+// (O'Neill, 2014): a 128-bit LCG state with an output permutation; it is
+// small, fast, and has far better statistical quality than std::minstd and
+// none of the implementation-defined variability of std::mt19937 stream
+// consumption through std::normal_distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sqvae {
+
+/// Deterministic random number generator (PCG64-like).
+///
+/// Satisfies the UniformRandomBitGenerator requirements, so it can also be
+/// passed to <random> distributions, although the member helpers below are
+/// preferred because their sequences are fully specified by this library
+/// rather than by the standard-library vendor.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a seed. Two Rng objects constructed with
+  /// the same seed produce identical sequences.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal deviate (Box-Muller with cached second value).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive weights are treated as zero; requires at least one
+  /// positive weight.
+  std::size_t weighted_choice(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of the index range [0, n); returns the permutation.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each subsystem its
+  /// own stream while keeping a single top-level seed.
+  Rng split();
+
+ private:
+  std::uint64_t state_hi_;
+  std::uint64_t state_lo_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sqvae

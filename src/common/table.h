@@ -1,0 +1,41 @@
+// Result-table formatting for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure from the paper; this
+// helper prints the rows both as an aligned plain-text table (for the
+// console) and as CSV (for downstream plotting), so the paper's series can
+// be compared directly against the reproduction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sqvae {
+
+/// Column-aligned text/CSV table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Aligned plain-text rendering.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV rendering (no quoting needed for our content).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sqvae

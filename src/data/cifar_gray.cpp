@@ -1,0 +1,119 @@
+#include "data/cifar_gray.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sqvae::data {
+
+namespace {
+
+constexpr int kSize = 32;
+
+double soft_edge(double signed_distance, double softness) {
+  // 1 inside (negative distance), 0 outside, smooth across the boundary.
+  return 1.0 / (1.0 + std::exp(signed_distance / softness));
+}
+
+/// Renders one image of class `cls` into `out` (row-major 32x32).
+void render(int cls, sqvae::Rng& rng, std::vector<double>& out) {
+  // Low-frequency background common to all classes.
+  const double ax = rng.uniform(0.2, 1.0);
+  const double ay = rng.uniform(0.2, 1.0);
+  const double px = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double py = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double base = rng.uniform(0.2, 0.5);
+
+  const double cx = rng.uniform(8.0, 24.0);
+  const double cy = rng.uniform(8.0, 24.0);
+  const double radius = rng.uniform(5.0, 10.0);
+  const double angle = rng.uniform(0.0, std::numbers::pi);
+  const double fg = rng.uniform(0.5, 0.95);
+  const double freq = rng.uniform(0.4, 1.2);
+
+  for (int y = 0; y < kSize; ++y) {
+    for (int x = 0; x < kSize; ++x) {
+      const double u = static_cast<double>(x) / kSize;
+      const double v = static_cast<double>(y) / kSize;
+      double value = base + 0.12 * std::cos(2.0 * std::numbers::pi * ax * u + px) +
+                     0.12 * std::cos(2.0 * std::numbers::pi * ay * v + py);
+
+      const double dx = x - cx;
+      const double dy = y - cy;
+      double mask = 0.0;
+      switch (cls) {
+        case 0: {  // disc
+          mask = soft_edge(std::sqrt(dx * dx + dy * dy) - radius, 1.0);
+          break;
+        }
+        case 1: {  // ring
+          const double r = std::sqrt(dx * dx + dy * dy);
+          mask = soft_edge(std::abs(r - radius) - 2.0, 0.8);
+          break;
+        }
+        case 2: {  // bar
+          const double t = dx * std::cos(angle) + dy * std::sin(angle);
+          mask = soft_edge(std::abs(t) - 3.0, 0.8);
+          break;
+        }
+        case 3: {  // square
+          mask = soft_edge(std::max(std::abs(dx), std::abs(dy)) - radius, 1.0);
+          break;
+        }
+        case 4: {  // stripes
+          const double t = dx * std::cos(angle) + dy * std::sin(angle);
+          mask = 0.5 + 0.5 * std::sin(freq * t);
+          mask *= soft_edge(std::sqrt(dx * dx + dy * dy) - 14.0, 2.0);
+          break;
+        }
+        case 5: {  // checker patch
+          const int qx = static_cast<int>(std::floor(x / 4.0));
+          const int qy = static_cast<int>(std::floor(y / 4.0));
+          mask = ((qx + qy) % 2 == 0) ? 1.0 : 0.0;
+          mask *= soft_edge(std::max(std::abs(dx), std::abs(dy)) - 12.0, 1.5);
+          break;
+        }
+        case 6: {  // triangle (half-plane intersection)
+          const double d1 = dy + dx * 0.8 - radius;
+          const double d2 = dy - dx * 0.8 - radius;
+          const double d3 = -dy - radius * 0.5;
+          mask = soft_edge(std::max({d1, d2, d3}), 1.2);
+          break;
+        }
+        default: {  // 7: two blobs
+          const double r1 = std::sqrt(dx * dx + dy * dy);
+          const double dx2 = x - (kSize - cx);
+          const double dy2 = y - (kSize - cy);
+          const double r2 = std::sqrt(dx2 * dx2 + dy2 * dy2);
+          mask = std::max(soft_edge(r1 - radius * 0.7, 1.0),
+                          soft_edge(r2 - radius * 0.7, 1.0));
+          break;
+        }
+      }
+      value = value * (1.0 - mask) + fg * mask;
+      value += rng.normal(0.0, 0.02);
+      out[static_cast<std::size_t>(y * kSize + x)] =
+          std::clamp(value, 0.0, 1.0);
+    }
+  }
+}
+
+}  // namespace
+
+CifarGrayDataset make_cifar_gray(std::size_t count, sqvae::Rng& rng) {
+  CifarGrayDataset ds;
+  ds.features = Dataset{Matrix(count, kSize * kSize)};
+  ds.labels.resize(count);
+  std::vector<double> img(kSize * kSize);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(i % kCifarGrayClasses);
+    ds.labels[i] = cls;
+    render(cls, rng, img);
+    for (std::size_t c = 0; c < img.size(); ++c) {
+      ds.features.samples(i, c) = img[c];
+    }
+  }
+  return ds;
+}
+
+}  // namespace sqvae::data

@@ -1,0 +1,63 @@
+#include "data/dataset.h"
+
+#include <cassert>
+
+namespace sqvae::data {
+
+Matrix Dataset::gather(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), samples.cols());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    assert(indices[r] < samples.rows());
+    for (std::size_t c = 0; c < samples.cols(); ++c) {
+      out(r, c) = samples(indices[r], c);
+    }
+  }
+  return out;
+}
+
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                sqvae::Rng& rng) {
+  assert(test_fraction >= 0.0 && test_fraction < 1.0);
+  const std::size_t n = dataset.size();
+  std::vector<std::size_t> perm = rng.permutation(n);
+  const std::size_t test_count =
+      static_cast<std::size_t>(static_cast<double>(n) * test_fraction);
+  std::vector<std::size_t> test_idx(perm.begin(),
+                                    perm.begin() + static_cast<std::ptrdiff_t>(test_count));
+  std::vector<std::size_t> train_idx(perm.begin() + static_cast<std::ptrdiff_t>(test_count),
+                                     perm.end());
+  return TrainTestSplit{Dataset{dataset.gather(train_idx)},
+                        Dataset{dataset.gather(test_idx)}};
+}
+
+Dataset l1_normalize_rows(const Dataset& dataset) {
+  Matrix out = dataset.samples;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double norm = 0.0;
+    for (std::size_t c = 0; c < out.cols(); ++c) norm += std::abs(out(r, c));
+    if (norm > 1e-12) {
+      for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= norm;
+    }
+  }
+  return Dataset{std::move(out)};
+}
+
+Dataset scale(const Dataset& dataset, double factor) {
+  return Dataset{dataset.samples * factor};
+}
+
+std::vector<std::vector<std::size_t>> make_batches(std::size_t n,
+                                                   std::size_t batch_size,
+                                                   sqvae::Rng& rng) {
+  assert(batch_size > 0);
+  std::vector<std::size_t> perm = rng.permutation(n);
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    batches.emplace_back(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                         perm.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace sqvae::data

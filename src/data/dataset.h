@@ -1,0 +1,51 @@
+// Dataset containers, splits, normalisation, and mini-batching.
+//
+// A Dataset is a dense sample matrix (rows = samples, columns = features)
+// plus optional provenance. Training follows the paper's protocol: 85/15
+// train/test split, shuffled mini-batches of 32, and (for the fully quantum
+// baselines of Fig. 4(b)) per-sample L1 normalisation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace sqvae::data {
+
+using sqvae::Matrix;
+
+struct Dataset {
+  Matrix samples;  // num_samples x num_features
+
+  std::size_t size() const { return samples.rows(); }
+  std::size_t num_features() const { return samples.cols(); }
+
+  /// Rows [indices] gathered into a new matrix (mini-batch assembly).
+  Matrix gather(const std::vector<std::size_t>& indices) const;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffles rows and splits with `test_fraction` held out (paper: 0.15).
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                sqvae::Rng& rng);
+
+/// Divides each row by its L1 norm (the paper's normalisation for the
+/// fully-quantum baselines; rows with ~zero norm are left unchanged).
+Dataset l1_normalize_rows(const Dataset& dataset);
+
+/// Scales all features by a constant (e.g. 1/16 for Digits pixel range).
+Dataset scale(const Dataset& dataset, double factor);
+
+/// Shuffled mini-batch index lists covering [0, n); the last batch may be
+/// smaller. Batches change every call (epoch) through `rng`.
+std::vector<std::vector<std::size_t>> make_batches(std::size_t n,
+                                                   std::size_t batch_size,
+                                                   sqvae::Rng& rng);
+
+}  // namespace sqvae::data

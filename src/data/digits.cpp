@@ -1,0 +1,178 @@
+#include "data/digits.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace sqvae::data {
+
+namespace {
+
+// 8x8 glyphs, '#' = full intensity, '+' = half, '.' = faint, ' ' = blank.
+// Drawn to resemble the scikit-learn Digits renderings.
+constexpr std::array<const char*, 10> kGlyphs = {
+    // 0
+    "  ####  "
+    " #    # "
+    " #    # "
+    " #    # "
+    " #    # "
+    " #    # "
+    " #    # "
+    "  ####  ",
+    // 1
+    "   ##   "
+    "  ###   "
+    "   ##   "
+    "   ##   "
+    "   ##   "
+    "   ##   "
+    "   ##   "
+    "  ####  ",
+    // 2
+    "  ####  "
+    " #    # "
+    "      # "
+    "     #  "
+    "    #   "
+    "   #    "
+    "  #     "
+    " ###### ",
+    // 3
+    "  ####  "
+    " #    # "
+    "      # "
+    "   ###  "
+    "      # "
+    "      # "
+    " #    # "
+    "  ####  ",
+    // 4
+    "    ##  "
+    "   # #  "
+    "  #  #  "
+    " #   #  "
+    " ###### "
+    "     #  "
+    "     #  "
+    "     #  ",
+    // 5
+    " ###### "
+    " #      "
+    " #      "
+    " #####  "
+    "      # "
+    "      # "
+    " #    # "
+    "  ####  ",
+    // 6
+    "  ####  "
+    " #      "
+    " #      "
+    " #####  "
+    " #    # "
+    " #    # "
+    " #    # "
+    "  ####  ",
+    // 7
+    " ###### "
+    "      # "
+    "     #  "
+    "     #  "
+    "    #   "
+    "    #   "
+    "   #    "
+    "   #    ",
+    // 8
+    "  ####  "
+    " #    # "
+    " #    # "
+    "  ####  "
+    " #    # "
+    " #    # "
+    " #    # "
+    "  ####  ",
+    // 9
+    "  ####  "
+    " #    # "
+    " #    # "
+    "  ##### "
+    "      # "
+    "      # "
+    "      # "
+    "  ####  ",
+};
+
+double glyph_pixel(int d, int row, int col) {
+  if (row < 0 || row > 7 || col < 0 || col > 7) return 0.0;
+  const char c = kGlyphs[static_cast<std::size_t>(d)][row * 8 + col];
+  switch (c) {
+    case '#': return 16.0;
+    case '+': return 8.0;
+    case '.': return 4.0;
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+std::vector<double> digit_template(int d) {
+  assert(d >= 0 && d <= 9);
+  std::vector<double> img(64, 0.0);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      img[static_cast<std::size_t>(r * 8 + c)] = glyph_pixel(d, r, c);
+    }
+  }
+  return img;
+}
+
+DigitsDataset make_digits(std::size_t count, sqvae::Rng& rng) {
+  DigitsDataset ds;
+  ds.features = Dataset{Matrix(count, 64)};
+  ds.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int d = static_cast<int>(i % 10);
+    ds.labels[i] = d;
+    // Sub-pixel shift via bilinear sampling of the shifted template plus a
+    // global intensity scale and additive noise.
+    const double dy = rng.uniform(-0.8, 0.8);
+    const double dx = rng.uniform(-0.8, 0.8);
+    const double gain = rng.uniform(0.8, 1.0);
+    for (int r = 0; r < 8; ++r) {
+      for (int c = 0; c < 8; ++c) {
+        const double sr = r + dy;
+        const double sc = c + dx;
+        const int r0 = static_cast<int>(std::floor(sr));
+        const int c0 = static_cast<int>(std::floor(sc));
+        const double fr = sr - r0;
+        const double fc = sc - c0;
+        double v = glyph_pixel(d, r0, c0) * (1 - fr) * (1 - fc) +
+                   glyph_pixel(d, r0 + 1, c0) * fr * (1 - fc) +
+                   glyph_pixel(d, r0, c0 + 1) * (1 - fr) * fc +
+                   glyph_pixel(d, r0 + 1, c0 + 1) * fr * fc;
+        v = gain * v + rng.normal(0.0, 0.5);
+        ds.features.samples(i, static_cast<std::size_t>(r * 8 + c)) =
+            std::clamp(v, 0.0, 16.0);
+      }
+    }
+  }
+  return ds;
+}
+
+std::string ascii_image(const std::vector<double>& pixels, std::size_t width,
+                        double max_value) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const std::size_t levels = sizeof(kRamp) - 2;  // exclude terminator
+  std::string out;
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    const double t = std::clamp(pixels[i] / max_value, 0.0, 1.0);
+    out += kRamp[static_cast<std::size_t>(t * static_cast<double>(levels))];
+    if ((i + 1) % width == 0) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sqvae::data

@@ -1,0 +1,134 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "chem/smiles.h"
+
+namespace sqvae::data {
+
+bool save_csv(const Dataset& dataset, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    for (std::size_t c = 0; c < dataset.num_features(); ++c) {
+      if (c) f << ',';
+      f << dataset.samples(r, c);
+    }
+    f << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+namespace {
+void set_error(CsvError* error, std::size_t line, std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
+}
+}  // namespace
+
+std::optional<Dataset> load_csv(const std::string& path, CsvError* error) {
+  std::ifstream f(path);
+  if (!f) {
+    set_error(error, 0, "cannot open file: " + path);
+    return std::nullopt;
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t width = 0;
+  while (std::getline(f, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ls(line);
+    std::string field;
+    while (std::getline(ls, field, ',')) {
+      try {
+        std::size_t consumed = 0;
+        const double v = std::stod(field, &consumed);
+        // Reject trailing garbage like "1.5x".
+        while (consumed < field.size() &&
+               std::isspace(static_cast<unsigned char>(field[consumed]))) {
+          ++consumed;
+        }
+        if (consumed != field.size()) throw std::invalid_argument(field);
+        row.push_back(v);
+      } catch (const std::exception&) {
+        set_error(error, line_number, "not a number: '" + field + "'");
+        return std::nullopt;
+      }
+    }
+    if (row.empty()) {
+      set_error(error, line_number, "empty row");
+      return std::nullopt;
+    }
+    if (width == 0) {
+      width = row.size();
+    } else if (row.size() != width) {
+      set_error(error, line_number,
+                "row has " + std::to_string(row.size()) +
+                    " fields, expected " + std::to_string(width));
+      return std::nullopt;
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    set_error(error, 0, "file contains no samples");
+    return std::nullopt;
+  }
+  Matrix samples(rows.size(), width);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < width; ++c) samples(r, c) = rows[r][c];
+  }
+  return Dataset{std::move(samples)};
+}
+
+int save_smiles(const std::vector<chem::Molecule>& molecules,
+                const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return -1;
+  int written = 0;
+  for (const chem::Molecule& mol : molecules) {
+    const auto smiles = chem::to_smiles(mol);
+    if (!smiles || smiles->empty()) continue;
+    f << *smiles << '\n';
+    ++written;
+  }
+  return f ? written : -1;
+}
+
+std::optional<std::vector<chem::Molecule>> load_smiles(const std::string& path,
+                                                       CsvError* error) {
+  std::ifstream f(path);
+  if (!f) {
+    set_error(error, 0, "cannot open file: " + path);
+    return std::nullopt;
+  }
+  std::vector<chem::Molecule> out;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(f, line)) {
+    ++line_number;
+    // Trim trailing whitespace/CR.
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const auto mol = chem::from_smiles(line);
+    if (!mol) {
+      set_error(error, line_number, "unparseable SMILES: '" + line + "'");
+      return std::nullopt;
+    }
+    out.push_back(*mol);
+  }
+  return out;
+}
+
+}  // namespace sqvae::data

@@ -1,0 +1,42 @@
+// Dataset file I/O.
+//
+// Plain numeric CSV (no header, one sample per row) so users can train on
+// their own feature matrices — e.g. molecule matrices exported from an
+// external toolkit — and SMILES-list files for molecule datasets. Loaders
+// validate rectangularity and report line-precise errors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.h"
+#include "data/dataset.h"
+
+namespace sqvae::data {
+
+/// Writes samples as numeric CSV. Returns false on I/O failure.
+bool save_csv(const Dataset& dataset, const std::string& path);
+
+struct CsvError {
+  std::size_t line = 0;  // 1-based; 0 = file-level error
+  std::string message;
+};
+
+/// Reads a numeric CSV; every row must have the same number of fields.
+/// On failure returns std::nullopt and fills `error` (when non-null).
+std::optional<Dataset> load_csv(const std::string& path,
+                                CsvError* error = nullptr);
+
+/// Writes one canonical SMILES per line; molecules that cannot be written
+/// (multi-fragment) are skipped. Returns the number written, or -1 on I/O
+/// failure.
+int save_smiles(const std::vector<chem::Molecule>& molecules,
+                const std::string& path);
+
+/// Reads a SMILES-per-line file; empty lines and '#' comments are skipped.
+/// Unparseable lines are reported through `error` and abort the load.
+std::optional<std::vector<chem::Molecule>> load_smiles(
+    const std::string& path, CsvError* error = nullptr);
+
+}  // namespace sqvae::data

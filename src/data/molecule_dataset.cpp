@@ -1,0 +1,38 @@
+#include "data/molecule_dataset.h"
+
+#include <cassert>
+
+#include "chem/molecule_matrix.h"
+
+namespace sqvae::data {
+
+Dataset MoleculeDataset::features() const {
+  Matrix x(molecules.size(), matrix_dim * matrix_dim);
+  for (std::size_t r = 0; r < molecules.size(); ++r) {
+    const std::vector<double> f =
+        chem::molecule_to_features(molecules[r], matrix_dim);
+    for (std::size_t c = 0; c < f.size(); ++c) x(r, c) = f[c];
+  }
+  return Dataset{std::move(x)};
+}
+
+MoleculeDataset make_qm9_like(std::size_t count, std::size_t dim,
+                              sqvae::Rng& rng) {
+  MoleculeDataset ds;
+  ds.matrix_dim = dim;
+  const MoleculeGenConfig config = qm9_config(static_cast<int>(dim));
+  ds.molecules = generate_molecules(config, count, rng);
+  return ds;
+}
+
+MoleculeDataset make_pdbbind_like(std::size_t count, std::size_t dim,
+                                  sqvae::Rng& rng) {
+  assert(dim >= 12);
+  MoleculeDataset ds;
+  ds.matrix_dim = dim;
+  const MoleculeGenConfig config = pdbbind_config(static_cast<int>(dim));
+  ds.molecules = generate_molecules(config, count, rng);
+  return ds;
+}
+
+}  // namespace sqvae::data

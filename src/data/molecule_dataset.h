@@ -1,0 +1,35 @@
+// Molecule datasets as feature matrices.
+//
+// Wraps the synthetic generators into the matrix-feature Dataset format the
+// models consume: each molecule becomes one row, the flattened dim x dim
+// molecule matrix (dim = 8 for QM9-like / Fig. 4, dim = 32 for
+// PDBbind-like / Figs. 5-8 and Table II).
+#pragma once
+
+#include <vector>
+
+#include "chem/molecule.h"
+#include "data/dataset.h"
+#include "data/molecule_gen.h"
+
+namespace sqvae::data {
+
+struct MoleculeDataset {
+  std::vector<chem::Molecule> molecules;
+  std::size_t matrix_dim = 0;
+
+  /// One row per molecule: flattened matrix encoding.
+  Dataset features() const;
+};
+
+/// QM9-like dataset: `count` molecules with <= `dim` heavy atoms over
+/// C/N/O, encoded into dim x dim matrices (paper: dim = 8).
+MoleculeDataset make_qm9_like(std::size_t count, std::size_t dim,
+                              sqvae::Rng& rng);
+
+/// PDBbind-ligand-like dataset: `count` molecules with 12..dim heavy atoms
+/// over C/N/O/F/S (paper: 2492 ligands, dim = 32).
+MoleculeDataset make_pdbbind_like(std::size_t count, std::size_t dim,
+                                  sqvae::Rng& rng);
+
+}  // namespace sqvae::data

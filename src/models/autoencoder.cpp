@@ -1,0 +1,71 @@
+#include "models/autoencoder.h"
+
+#include <cassert>
+
+namespace sqvae::models {
+
+Var Autoencoder::build_loss(Tape& tape, const Matrix& batch, sqvae::Rng& rng,
+                            LossStats* stats) {
+  Var input = tape.constant(batch);
+  ForwardResult fwd = forward(tape, input, rng);
+  Var mse = tape.mse_loss(fwd.reconstruction, batch);
+  Var total = mse;
+  double kl_value = 0.0;
+  if (is_generative()) {
+    assert(fwd.mu && fwd.logvar && "generative forward must emit (mu,logvar)");
+    Var kl = tape.kl_gaussian(*fwd.mu, *fwd.logvar);
+    kl_value = tape.value(kl)(0, 0);
+    total = tape.add(mse, tape.scale(kl, kl_weight_));
+  }
+  if (stats != nullptr) {
+    stats->reconstruction_mse = tape.value(mse)(0, 0);
+    stats->kl = kl_value;
+    stats->total = tape.value(total)(0, 0);
+  }
+  return total;
+}
+
+Matrix Autoencoder::reconstruct(const Matrix& batch, sqvae::Rng& rng) {
+  Tape tape;
+  Var input = tape.constant(batch);
+  ForwardResult fwd = forward(tape, input, rng);
+  return tape.value(fwd.reconstruction);
+}
+
+double Autoencoder::evaluate_mse(const Matrix& data, sqvae::Rng& rng) {
+  const Matrix recon = reconstruct(data, rng);
+  return recon.mse(data);
+}
+
+Matrix Autoencoder::sample(std::size_t count, sqvae::Rng& rng) {
+  assert(is_generative() && "vanilla autoencoders cannot sample");
+  Matrix z(count, latent_dim());
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = rng.normal();
+  Tape tape;
+  Var out = decode(tape, tape.constant(std::move(z)));
+  return tape.value(out);
+}
+
+std::size_t Autoencoder::num_quantum_parameters() {
+  std::size_t n = 0;
+  for (const ad::Parameter* p : quantum_parameters()) n += p->size();
+  return n;
+}
+
+std::size_t Autoencoder::num_classical_parameters() {
+  std::size_t n = 0;
+  for (const ad::Parameter* p : classical_parameters()) n += p->size();
+  return n;
+}
+
+std::vector<nn::ParamGroup> Autoencoder::param_groups(double quantum_lr,
+                                                      double classical_lr) {
+  std::vector<nn::ParamGroup> groups;
+  auto q = quantum_parameters();
+  auto c = classical_parameters();
+  if (!q.empty()) groups.push_back(nn::ParamGroup{std::move(q), quantum_lr});
+  if (!c.empty()) groups.push_back(nn::ParamGroup{std::move(c), classical_lr});
+  return groups;
+}
+
+}  // namespace sqvae::models

@@ -1,0 +1,84 @@
+#include "models/checkpoint.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace sqvae::models {
+
+namespace {
+
+std::vector<ad::Parameter*> all_parameters(Autoencoder& model) {
+  std::vector<ad::Parameter*> params = model.quantum_parameters();
+  for (ad::Parameter* p : model.classical_parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace
+
+std::string checkpoint_to_text(Autoencoder& model) {
+  const auto params = all_parameters(model);
+  std::ostringstream os;
+  os << "sqvae-checkpoint 1\n" << params.size() << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const ad::Parameter* p : params) {
+    os << p->value.rows() << ' ' << p->value.cols();
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      os << ' ' << p->value[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool checkpoint_from_text(const std::string& text, Autoencoder& model) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "sqvae-checkpoint" ||
+      version != 1) {
+    return false;
+  }
+  std::size_t count = 0;
+  if (!(in >> count)) return false;
+  const auto params = all_parameters(model);
+  if (count != params.size()) return false;
+
+  // Parse into staging storage first: the model is only mutated when the
+  // whole checkpoint is consistent.
+  std::vector<Matrix> staged;
+  staged.reserve(count);
+  for (ad::Parameter* p : params) {
+    std::size_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols)) return false;
+    if (rows != p->value.rows() || cols != p->value.cols()) return false;
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (!(in >> m[i])) return false;
+    }
+    staged.push_back(std::move(m));
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    params[k]->value = std::move(staged[k]);
+    params[k]->zero_grad();
+  }
+  return true;
+}
+
+bool save_checkpoint(Autoencoder& model, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << checkpoint_to_text(model);
+  return static_cast<bool>(f);
+}
+
+bool load_checkpoint(const std::string& path, Autoencoder& model) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return checkpoint_from_text(buffer.str(), model);
+}
+
+}  // namespace sqvae::models

@@ -1,0 +1,31 @@
+// Model checkpointing: save/restore the parameter state of any model in
+// the zoo (every trainable value lives in ad::Parameter objects exposed by
+// quantum_parameters() + classical_parameters()).
+//
+// Format: a small text header ("sqvae-checkpoint 1", parameter count),
+// then one line per parameter with its shape and row-major values printed
+// with max_digits10 so a save/load round trip is bit-exact for doubles.
+// Loading validates the shape sequence against the target model, so
+// restoring into a differently configured model fails loudly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "models/autoencoder.h"
+
+namespace sqvae::models {
+
+/// Serialises parameters in order (quantum first, then classical).
+std::string checkpoint_to_text(Autoencoder& model);
+
+/// Restores parameters from text into `model`. Returns false (leaving the
+/// model untouched) on a header/shape/count mismatch or parse error.
+bool checkpoint_from_text(const std::string& text, Autoencoder& model);
+
+/// File convenience wrappers.
+bool save_checkpoint(Autoencoder& model, const std::string& path);
+bool load_checkpoint(const std::string& path, Autoencoder& model);
+
+}  // namespace sqvae::models

@@ -1,0 +1,106 @@
+#include "models/classical.h"
+
+#include <cassert>
+
+namespace sqvae::models {
+
+namespace {
+
+std::vector<std::size_t> encoder_dims(const ClassicalConfig& c,
+                                      bool to_latent) {
+  std::vector<std::size_t> dims;
+  dims.push_back(c.input_dim);
+  for (std::size_t h : c.hidden) dims.push_back(h);
+  if (to_latent) dims.push_back(c.latent_dim);
+  return dims;
+}
+
+std::vector<std::size_t> decoder_dims(const ClassicalConfig& c) {
+  std::vector<std::size_t> dims;
+  dims.push_back(c.latent_dim);
+  for (auto it = c.hidden.rbegin(); it != c.hidden.rend(); ++it) {
+    dims.push_back(*it);
+  }
+  dims.push_back(c.input_dim);
+  return dims;
+}
+
+}  // namespace
+
+ClassicalConfig classical_config_64(std::size_t latent_dim) {
+  return ClassicalConfig{64, {32, 16}, latent_dim};
+}
+
+ClassicalConfig classical_config_1024(std::size_t latent_dim) {
+  // Hidden widths scale the paper's 64-dim shape (32, 16) up to 1024-dim
+  // inputs; 256/128 keeps every swept latent dimension (up to 128, Fig.
+  // 5(b)) narrower than the preceding hidden layer.
+  return ClassicalConfig{1024, {256, 128}, latent_dim};
+}
+
+Var reparameterize(Tape& tape, Var mu, Var logvar, sqvae::Rng& rng) {
+  const Matrix& mv = tape.value(mu);
+  Matrix eps(mv.rows(), mv.cols());
+  for (std::size_t i = 0; i < eps.size(); ++i) eps[i] = rng.normal();
+  Var sigma = tape.exp_(tape.scale(logvar, 0.5));
+  return tape.add(mu, tape.mul(sigma, tape.constant(std::move(eps))));
+}
+
+// ---------------------------------------------------------------- AE ----
+
+ClassicalAe::ClassicalAe(const ClassicalConfig& config, sqvae::Rng& rng)
+    : config_(config),
+      encoder_(encoder_dims(config, /*to_latent=*/true),
+               nn::Activation::kReLU, rng),
+      decoder_(decoder_dims(config), nn::Activation::kReLU, rng) {}
+
+ForwardResult ClassicalAe::forward(Tape& tape, Var input, sqvae::Rng&) {
+  Var z = encoder_.forward(tape, input);
+  return ForwardResult{decode(tape, z), std::nullopt, std::nullopt};
+}
+
+Var ClassicalAe::decode(Tape& tape, Var z) {
+  return decoder_.forward(tape, z);
+}
+
+std::vector<ad::Parameter*> ClassicalAe::classical_parameters() {
+  std::vector<ad::Parameter*> out = encoder_.parameters();
+  for (ad::Parameter* p : decoder_.parameters()) out.push_back(p);
+  return out;
+}
+
+// --------------------------------------------------------------- VAE ----
+
+ClassicalVae::ClassicalVae(const ClassicalConfig& config, sqvae::Rng& rng)
+    : config_(config),
+      encoder_trunk_(encoder_dims(config, /*to_latent=*/false),
+                     nn::Activation::kReLU, rng),
+      mu_head_(config.hidden.back(), config.latent_dim, rng),
+      logvar_head_(config.hidden.back(), config.latent_dim, rng),
+      decoder_(decoder_dims(config), nn::Activation::kReLU, rng) {
+  assert(!config.hidden.empty());
+}
+
+ForwardResult ClassicalVae::forward(Tape& tape, Var input, sqvae::Rng& rng) {
+  // The trunk MLP's last layer is linear; apply the hidden activation to it
+  // before the heads (trunk output *is* the last hidden representation).
+  Var h = tape.relu(encoder_trunk_.forward(tape, input));
+  Var mu = mu_head_.forward(tape, h);
+  Var logvar = logvar_head_.forward(tape, h);
+  Var z = reparameterize(tape, mu, logvar, rng);
+  return ForwardResult{decode(tape, z), mu, logvar};
+}
+
+Var ClassicalVae::decode(Tape& tape, Var z) {
+  return decoder_.forward(tape, z);
+}
+
+std::vector<ad::Parameter*> ClassicalVae::classical_parameters() {
+  std::vector<ad::Parameter*> out = encoder_trunk_.parameters();
+  for (ad::Parameter* p : mu_head_.parameters()) out.push_back(p);
+  for (ad::Parameter* p : logvar_head_.parameters()) out.push_back(p);
+  for (ad::Parameter* p : decoder_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace sqvae::models

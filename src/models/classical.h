@@ -1,0 +1,70 @@
+// Classical autoencoder baselines (Section III-B of the paper).
+//
+// Encoder: input -> hidden MLP (ReLU) -> latent; decoder mirrors the
+// encoder. The paper's 64-dim models use hidden layers 32 and 16 with a
+// 6-dim latent; the 1024-dim PDBbind models keep the same two-hidden-layer
+// shape scaled up (128, 64 — see DESIGN.md). The VAE replaces the
+// encoder's final projection with (mu, logvar) heads and reparameterises.
+#pragma once
+
+#include <memory>
+
+#include "models/autoencoder.h"
+#include "nn/linear.h"
+
+namespace sqvae::models {
+
+struct ClassicalConfig {
+  std::size_t input_dim = 64;
+  std::vector<std::size_t> hidden = {32, 16};
+  std::size_t latent_dim = 6;
+};
+
+/// Paper defaults for the 64-dim (Digits / QM9) experiments.
+ClassicalConfig classical_config_64(std::size_t latent_dim = 6);
+/// Defaults for the 1024-dim (PDBbind / CIFAR) experiments.
+ClassicalConfig classical_config_1024(std::size_t latent_dim = 10);
+
+class ClassicalAe final : public Autoencoder {
+ public:
+  ClassicalAe(const ClassicalConfig& config, sqvae::Rng& rng);
+
+  ForwardResult forward(Tape& tape, Var input, sqvae::Rng& rng) override;
+  Var decode(Tape& tape, Var z) override;
+  std::size_t input_dim() const override { return config_.input_dim; }
+  std::size_t latent_dim() const override { return config_.latent_dim; }
+  bool is_generative() const override { return false; }
+  std::vector<ad::Parameter*> quantum_parameters() override { return {}; }
+  std::vector<ad::Parameter*> classical_parameters() override;
+
+ private:
+  ClassicalConfig config_;
+  nn::Mlp encoder_;
+  nn::Mlp decoder_;
+};
+
+class ClassicalVae final : public Autoencoder {
+ public:
+  ClassicalVae(const ClassicalConfig& config, sqvae::Rng& rng);
+
+  ForwardResult forward(Tape& tape, Var input, sqvae::Rng& rng) override;
+  Var decode(Tape& tape, Var z) override;
+  std::size_t input_dim() const override { return config_.input_dim; }
+  std::size_t latent_dim() const override { return config_.latent_dim; }
+  bool is_generative() const override { return true; }
+  std::vector<ad::Parameter*> quantum_parameters() override { return {}; }
+  std::vector<ad::Parameter*> classical_parameters() override;
+
+ private:
+  ClassicalConfig config_;
+  nn::Mlp encoder_trunk_;  // input -> last hidden
+  nn::Linear mu_head_;
+  nn::Linear logvar_head_;
+  nn::Mlp decoder_;
+};
+
+/// Reparameterisation z = mu + exp(logvar/2) * eps as tape ops; `eps` is
+/// drawn from `rng`. Shared by every generative model in the zoo.
+Var reparameterize(Tape& tape, Var mu, Var logvar, sqvae::Rng& rng);
+
+}  // namespace sqvae::models

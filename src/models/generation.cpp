@@ -1,0 +1,73 @@
+#include "models/generation.h"
+
+#include <set>
+
+#include "chem/logp.h"
+#include "chem/molecule_matrix.h"
+#include "chem/qed.h"
+#include "chem/sa_score.h"
+#include "chem/sanitize.h"
+#include "chem/smiles.h"
+
+namespace sqvae::models {
+
+chem::Molecule decode_sample(const std::vector<double>& features,
+                             std::size_t matrix_dim) {
+  const chem::Molecule raw =
+      chem::features_to_molecule(features, matrix_dim);
+  return chem::sanitize(raw);
+}
+
+namespace {
+
+GenerationMetrics score(const std::vector<chem::Molecule>& molecules,
+                        std::size_t requested) {
+  GenerationMetrics m;
+  m.requested = requested;
+  std::set<std::string> smiles_set;
+  double qed_sum = 0.0, logp_sum = 0.0, sa_sum = 0.0, atoms_sum = 0.0;
+  for (const chem::Molecule& mol : molecules) {
+    if (mol.empty()) continue;
+    ++m.valid;
+    qed_sum += chem::qed(mol);
+    logp_sum += chem::normalized_logp(mol);
+    sa_sum += chem::normalized_sa_score(mol);
+    atoms_sum += static_cast<double>(mol.num_atoms());
+    if (auto s = chem::to_smiles(mol)) smiles_set.insert(*s);
+  }
+  m.unique = smiles_set.size();
+  if (m.valid > 0) {
+    const double n = static_cast<double>(m.valid);
+    m.mean_qed = qed_sum / n;
+    m.mean_logp = logp_sum / n;
+    m.mean_sa = sa_sum / n;
+    m.mean_heavy_atoms = atoms_sum / n;
+  }
+  return m;
+}
+
+}  // namespace
+
+GenerationMetrics evaluate_feature_samples(const Matrix& samples,
+                                           std::size_t matrix_dim) {
+  std::vector<chem::Molecule> molecules;
+  molecules.reserve(samples.rows());
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    molecules.push_back(decode_sample(samples.row(r), matrix_dim));
+  }
+  return score(molecules, samples.rows());
+}
+
+GenerationMetrics sample_and_evaluate(Autoencoder& model, std::size_t count,
+                                      std::size_t matrix_dim,
+                                      sqvae::Rng& rng) {
+  const Matrix samples = model.sample(count, rng);
+  return evaluate_feature_samples(samples, matrix_dim);
+}
+
+GenerationMetrics evaluate_molecules(
+    const std::vector<chem::Molecule>& mols) {
+  return score(mols, mols.size());
+}
+
+}  // namespace sqvae::models

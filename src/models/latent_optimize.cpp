@@ -1,0 +1,90 @@
+#include "models/latent_optimize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "chem/qed.h"
+#include "models/generation.h"
+
+namespace sqvae::models {
+
+LatentOptimizeResult optimize_latent(Autoencoder& model,
+                                     const LatentObjective& objective,
+                                     const LatentOptimizeConfig& config,
+                                     sqvae::Rng& rng) {
+  assert(model.is_generative());
+  assert(config.elites >= 1 && config.elites <= config.population);
+  const std::size_t lsd = model.latent_dim();
+
+  std::vector<double> mu(lsd, 0.0);
+  if (!config.initial_mu.empty()) {
+    assert(config.initial_mu.size() == lsd);
+    mu = config.initial_mu;
+  }
+  std::vector<double> sigma(lsd, config.initial_sigma);
+
+  LatentOptimizeResult result;
+  result.history.reserve(config.generations);
+
+  struct Scored {
+    std::size_t row;
+    double score;
+  };
+
+  for (std::size_t gen = 0; gen < config.generations; ++gen) {
+    // Sample the generation and decode it in one batch.
+    Matrix z(config.population, lsd);
+    for (std::size_t r = 0; r < config.population; ++r) {
+      for (std::size_t c = 0; c < lsd; ++c) {
+        z(r, c) = mu[c] + sigma[c] * rng.normal();
+      }
+    }
+    ad::Tape tape;
+    ad::Var decoded = model.decode(tape, tape.constant(z));
+    const Matrix& features = tape.value(decoded);
+
+    std::vector<Scored> scored(config.population);
+    for (std::size_t r = 0; r < config.population; ++r) {
+      scored[r] = Scored{r, objective(features.row(r))};
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                return a.score > b.score;
+              });
+
+    if (scored.front().score > result.best_score) {
+      result.best_score = scored.front().score;
+      result.best_latent = z.row(scored.front().row);
+      result.best_features = features.row(scored.front().row);
+    }
+    result.history.push_back(result.best_score);
+
+    // Refit (mu, sigma) on the elites.
+    for (std::size_t c = 0; c < lsd; ++c) {
+      double mean = 0.0;
+      for (std::size_t e = 0; e < config.elites; ++e) {
+        mean += z(scored[e].row, c);
+      }
+      mean /= static_cast<double>(config.elites);
+      double var = 0.0;
+      for (std::size_t e = 0; e < config.elites; ++e) {
+        const double d = z(scored[e].row, c) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(config.elites);
+      mu[c] = mean;
+      sigma[c] = std::max(std::sqrt(var), config.sigma_floor);
+    }
+  }
+  return result;
+}
+
+LatentObjective qed_objective(std::size_t matrix_dim) {
+  return [matrix_dim](const std::vector<double>& features) {
+    const chem::Molecule mol = decode_sample(features, matrix_dim);
+    return chem::qed(mol);
+  };
+}
+
+}  // namespace sqvae::models

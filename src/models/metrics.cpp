@@ -1,0 +1,77 @@
+#include "models/metrics.h"
+
+#include <set>
+
+#include "chem/scaffold.h"
+#include "chem/smiles.h"
+#include "models/generation.h"
+
+namespace sqvae::models {
+
+ExtendedMetrics evaluate_extended_molecules(
+    const std::vector<chem::Molecule>& molecules,
+    const std::vector<chem::Molecule>& training_set) {
+  ExtendedMetrics m;
+  m.requested = molecules.size();
+
+  std::set<std::string> train_smiles;
+  std::vector<chem::Fingerprint> train_fps;
+  train_fps.reserve(training_set.size());
+  for (const chem::Molecule& t : training_set) {
+    if (auto s = chem::to_smiles(t)) train_smiles.insert(*s);
+    train_fps.push_back(chem::morgan_fingerprint(t));
+  }
+
+  std::set<std::string> unique_smiles;
+  std::set<std::string> scaffolds;
+  std::vector<chem::Fingerprint> sample_fps;
+  std::size_t novel = 0;
+  std::size_t lipinski_pass = 0;
+  double distance_sum = 0.0;
+
+  for (const chem::Molecule& mol : molecules) {
+    if (mol.empty()) continue;
+    ++m.valid;
+    const auto smiles = chem::to_smiles(mol);
+    bool is_new_unique = false;
+    if (smiles) is_new_unique = unique_smiles.insert(*smiles).second;
+    if (is_new_unique && smiles && !train_smiles.count(*smiles)) ++novel;
+
+    const chem::Fingerprint fp = chem::morgan_fingerprint(mol);
+    distance_sum += 1.0 - chem::nearest_similarity(fp, train_fps);
+    sample_fps.push_back(fp);
+
+    if (auto scaffold = chem::scaffold_smiles(mol)) {
+      scaffolds.insert(*scaffold);
+    }
+    if (chem::lipinski(mol).passes) ++lipinski_pass;
+  }
+
+  m.unique = unique_smiles.size();
+  if (m.unique > 0) {
+    m.novelty = static_cast<double>(novel) / static_cast<double>(m.unique);
+  }
+  if (m.valid > 0) {
+    m.mean_distance_to_train =
+        distance_sum / static_cast<double>(m.valid);
+    m.scaffold_diversity = static_cast<double>(scaffolds.size()) /
+                           static_cast<double>(m.valid);
+    m.lipinski_pass_rate = static_cast<double>(lipinski_pass) /
+                           static_cast<double>(m.valid);
+  }
+  m.internal_diversity = chem::internal_diversity(sample_fps);
+  return m;
+}
+
+ExtendedMetrics evaluate_extended(
+    const Matrix& samples, std::size_t matrix_dim,
+    const std::vector<chem::Molecule>& training_set) {
+  std::vector<chem::Molecule> molecules;
+  molecules.reserve(samples.rows());
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    molecules.push_back(decode_sample(samples.row(r), matrix_dim));
+  }
+  return evaluate_extended_molecules(molecules, training_set);
+}
+
+}  // namespace sqvae::models

@@ -1,0 +1,47 @@
+// Extended generative-chemistry metrics beyond Table II.
+//
+// Standard evaluation of molecular generative models (MOSES/GuacaMol
+// style) augments validity/uniqueness and property means with novelty
+// against the training set, internal diversity (mean pairwise Tanimoto
+// distance of ECFP fingerprints), scaffold diversity, and a screen pass
+// rate (Lipinski). These quantify whether a model memorises or explores —
+// the question the paper's latent-space-dimension study circles around.
+#pragma once
+
+#include <vector>
+
+#include "chem/fingerprint.h"
+#include "chem/molecule.h"
+#include "common/matrix.h"
+
+namespace sqvae::models {
+
+struct ExtendedMetrics {
+  std::size_t requested = 0;
+  std::size_t valid = 0;
+  std::size_t unique = 0;
+  /// Fraction of unique valid molecules absent from the training set
+  /// (canonical-SMILES comparison).
+  double novelty = 0.0;
+  /// Mean (1 - nearest-neighbor Tanimoto to training set) of valid samples.
+  double mean_distance_to_train = 0.0;
+  /// Mean pairwise Tanimoto distance within the sample set.
+  double internal_diversity = 0.0;
+  /// Distinct Murcko scaffolds per valid molecule.
+  double scaffold_diversity = 0.0;
+  /// Fraction of valid molecules passing Lipinski (<= 1 violation).
+  double lipinski_pass_rate = 0.0;
+};
+
+/// Scores decoded feature samples (rows = flattened matrix_dim^2 features)
+/// against a training reference set.
+ExtendedMetrics evaluate_extended(
+    const Matrix& samples, std::size_t matrix_dim,
+    const std::vector<chem::Molecule>& training_set);
+
+/// Same for an existing molecule list (e.g. dataset self-evaluation).
+ExtendedMetrics evaluate_extended_molecules(
+    const std::vector<chem::Molecule>& molecules,
+    const std::vector<chem::Molecule>& training_set);
+
+}  // namespace sqvae::models

@@ -1,0 +1,163 @@
+#include "models/quantum_layer.h"
+
+#include <cassert>
+#include <numbers>
+
+#include "qsim/adjoint.h"
+#include "qsim/embedding.h"
+#include "qsim/observable.h"
+
+namespace sqvae::models {
+
+using qsim::Circuit;
+using qsim::Statevector;
+
+namespace {
+
+Matrix init_weights(int count, sqvae::Rng& rng) {
+  Matrix w(1, static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  }
+  return w;
+}
+
+int weight_offset_for(const QuantumLayerConfig& config) {
+  return config.input == QuantumLayerConfig::InputMode::kAngle
+             ? config.num_qubits
+             : 0;
+}
+
+Circuit build_circuit(const QuantumLayerConfig& config) {
+  Circuit c(config.num_qubits);
+  int slot = 0;
+  if (config.input == QuantumLayerConfig::InputMode::kAngle) {
+    slot = c.angle_embedding(slot);  // slots [0, num_qubits)
+  }
+  c.strongly_entangling_layers(config.entangling_layers, slot);
+  return c;
+}
+
+}  // namespace
+
+QuantumLayer::QuantumLayer(const QuantumLayerConfig& config, sqvae::Rng& rng)
+    : config_(config),
+      weight_slot_offset_(weight_offset_for(config)),
+      circuit_(build_circuit(config)),
+      weights_(init_weights(
+          Circuit::entangling_layer_param_count(config.num_qubits,
+                                                config.entangling_layers),
+          rng)) {
+  if (config_.input == QuantumLayerConfig::InputMode::kAngle) {
+    assert(config_.input_dim == config_.num_qubits &&
+           "angle embedding uses one qubit per feature");
+  } else {
+    assert(config_.input_dim <= (1 << config_.num_qubits) &&
+           "amplitude embedding fits at most 2^n features");
+  }
+}
+
+int QuantumLayer::output_dim() const {
+  return config_.output == QuantumLayerConfig::OutputMode::kExpectationZ
+             ? config_.num_qubits
+             : (1 << config_.num_qubits);
+}
+
+std::vector<double> QuantumLayer::slot_values(
+    const std::vector<double>& input_row) const {
+  std::vector<double> slots;
+  if (config_.input == QuantumLayerConfig::InputMode::kAngle) {
+    slots = input_row;
+  }
+  slots.insert(slots.end(), weights_.value.data(),
+               weights_.value.data() + weights_.value.size());
+  return slots;
+}
+
+Statevector QuantumLayer::initial_state(
+    const std::vector<double>& input_row) const {
+  if (config_.input == QuantumLayerConfig::InputMode::kAmplitude) {
+    return qsim::amplitude_embedding(input_row, config_.num_qubits);
+  }
+  return Statevector(config_.num_qubits);
+}
+
+std::vector<double> QuantumLayer::measure(const Statevector& state) const {
+  if (config_.output == QuantumLayerConfig::OutputMode::kExpectationZ) {
+    return qsim::expectations_z(state);
+  }
+  return state.probabilities();
+}
+
+Matrix QuantumLayer::forward_values(const Matrix& input) const {
+  assert(input.cols() == static_cast<std::size_t>(config_.input_dim));
+  Matrix out(input.rows(), static_cast<std::size_t>(output_dim()));
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const std::vector<double> row = input.row(r);
+    Statevector state = initial_state(row);
+    qsim::run(circuit_, slot_values(row), state);
+    const std::vector<double> y = measure(state);
+    for (std::size_t c = 0; c < y.size(); ++c) out(r, c) = y[c];
+  }
+  return out;
+}
+
+ad::Var QuantumLayer::forward(ad::Tape& tape, ad::Var input) {
+  // Copy, not reference: tape.leaf() below appends a node and may
+  // reallocate the tape's node storage.
+  const Matrix in_value = tape.value(input);
+  assert(in_value.cols() == static_cast<std::size_t>(config_.input_dim));
+
+  ad::Var w = tape.leaf(&weights_);
+  Matrix out = forward_values(in_value);
+
+  // The backward closure recomputes per-sample adjoint sweeps from the
+  // *taped* input and weight values (both immutable for this tape's
+  // lifetime).
+  auto backward = [this, input, w](ad::Tape& t, const Matrix& out_grad) {
+    const Matrix& in_v = t.value(input);
+    const std::size_t batch = in_v.rows();
+    Matrix grad_in(batch, static_cast<std::size_t>(config_.input_dim));
+    Matrix grad_w(1, weights_.value.size());
+
+    for (std::size_t r = 0; r < batch; ++r) {
+      const std::vector<double> row = in_v.row(r);
+      const std::vector<double> cotangent = out_grad.row(r);
+
+      std::vector<double> diag;
+      if (config_.output == QuantumLayerConfig::OutputMode::kExpectationZ) {
+        diag = qsim::weighted_z_diagonal(config_.num_qubits, cotangent);
+      } else {
+        diag = qsim::probability_vjp_diagonal(cotangent);
+      }
+
+      const qsim::AdjointResult res = qsim::adjoint_gradient(
+          circuit_, slot_values(row), initial_state(row), diag);
+
+      // Weight gradients: slots [offset, offset + W).
+      for (std::size_t k = 0; k < weights_.value.size(); ++k) {
+        grad_w(0, k) +=
+            res.param_grads[static_cast<std::size_t>(weight_slot_offset_) + k];
+      }
+      // Input gradients.
+      if (config_.input == QuantumLayerConfig::InputMode::kAngle) {
+        for (int q = 0; q < config_.num_qubits; ++q) {
+          grad_in(r, static_cast<std::size_t>(q)) =
+              res.param_grads[static_cast<std::size_t>(q)];
+        }
+      } else {
+        const std::vector<double> state_grad =
+            qsim::real_initial_gradient(res);
+        const std::vector<double> dx =
+            qsim::amplitude_embedding_backward(row, state_grad);
+        for (std::size_t c = 0; c < dx.size(); ++c) grad_in(r, c) = dx[c];
+      }
+    }
+    t.accum_grad(input, grad_in);
+    t.accum_grad(w, grad_w);
+  };
+
+  return tape.custom({input, w}, std::move(out), std::move(backward));
+}
+
+}  // namespace sqvae::models

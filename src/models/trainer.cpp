@@ -1,0 +1,101 @@
+#include "models/trainer.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "data/dataset.h"
+
+namespace sqvae::models {
+
+namespace {
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+void clip_gradients(const std::vector<nn::ParamGroup>& groups,
+                    double max_norm) {
+  double sum_sq = 0.0;
+  for (const nn::ParamGroup& g : groups) {
+    for (const ad::Parameter* p : g.params) {
+      for (std::size_t i = 0; i < p->grad.size(); ++i) {
+        sum_sq += p->grad[i] * p->grad[i];
+      }
+    }
+  }
+  const double norm = std::sqrt(sum_sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (const nn::ParamGroup& g : groups) {
+    for (ad::Parameter* p : g.params) {
+      for (std::size_t i = 0; i < p->grad.size(); ++i) {
+        p->grad[i] *= scale;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(Autoencoder& model, const TrainConfig& config)
+    : model_(model), config_(config) {}
+
+std::vector<EpochStats> Trainer::fit(const Matrix& train, const Matrix* test,
+                                     sqvae::Rng& rng,
+                                     const EpochCallback& callback) {
+  model_.set_kl_weight(config_.kl_weight);
+  const std::vector<nn::ParamGroup> groups =
+      model_.param_groups(config_.quantum_lr, config_.classical_lr);
+  nn::Adam optimizer(groups);
+
+  std::vector<EpochStats> history;
+  history.reserve(config_.epochs);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Stopwatch watch;
+    if (config_.lr_decay != 1.0 && epoch > 0) {
+      for (std::size_t g = 0; g < optimizer.num_groups(); ++g) {
+        optimizer.set_lr(g, optimizer.lr(g) * config_.lr_decay);
+      }
+    }
+    const auto batches =
+        data::make_batches(train.rows(), config_.batch_size, rng);
+
+    double loss_sum = 0.0;
+    double mse_sum = 0.0;
+    double kl_sum = 0.0;
+    for (const auto& indices : batches) {
+      Matrix batch(indices.size(), train.cols());
+      for (std::size_t r = 0; r < indices.size(); ++r) {
+        for (std::size_t c = 0; c < train.cols(); ++c) {
+          batch(r, c) = train(indices[r], c);
+        }
+      }
+      ad::Tape tape;
+      LossStats stats;
+      ad::Var loss = model_.build_loss(tape, batch, rng, &stats);
+      optimizer.zero_grad();
+      tape.backward(loss);
+      if (config_.grad_clip > 0.0) {
+        clip_gradients(groups, config_.grad_clip);
+      }
+      optimizer.step();
+      loss_sum += stats.total;
+      mse_sum += stats.reconstruction_mse;
+      kl_sum += stats.kl;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    const double nb = static_cast<double>(batches.size());
+    stats.train_loss = loss_sum / nb;
+    stats.train_mse = mse_sum / nb;
+    stats.train_kl = kl_sum / nb;
+    if (test != nullptr && test->rows() > 0) {
+      stats.test_mse = model_.evaluate_mse(*test, rng);
+    }
+    stats.seconds = watch.seconds();
+    if (callback) callback(stats);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace sqvae::models

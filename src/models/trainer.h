@@ -1,0 +1,55 @@
+// Training loop shared by every experiment.
+//
+// Implements the paper's protocol (Section IV-B): Adam with beta1 = 0.9,
+// beta2 = 0.999, mini-batches of 32, 20 epochs by default, and separate
+// quantum/classical learning-rate groups for the heterogeneous-LR study.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "models/autoencoder.h"
+
+namespace sqvae::models {
+
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  double quantum_lr = 1e-3;
+  double classical_lr = 1e-3;
+  double kl_weight = 0.01;  // generative models only
+  /// Global-norm gradient clipping threshold; 0 disables. Useful for the
+  /// aggressive-learning-rate corners of the Fig. 7 grid.
+  double grad_clip = 0.0;
+  /// Per-epoch multiplicative learning-rate decay; 1 keeps the paper's
+  /// constant schedule.
+  double lr_decay = 1.0;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;  // batch-averaged total loss
+  double train_mse = 0.0;   // batch-averaged reconstruction MSE
+  double train_kl = 0.0;    // batch-averaged KL (0 for AEs)
+  double test_mse = 0.0;    // full-test-set reconstruction MSE (when given)
+  double seconds = 0.0;     // wall-clock time of the epoch
+};
+
+using EpochCallback = std::function<void(const EpochStats&)>;
+
+class Trainer {
+ public:
+  Trainer(Autoencoder& model, const TrainConfig& config);
+
+  /// Trains on `train` (rows = samples); evaluates reconstruction MSE on
+  /// `test` after each epoch when non-null. Returns per-epoch statistics.
+  std::vector<EpochStats> fit(const Matrix& train, const Matrix* test,
+                              sqvae::Rng& rng,
+                              const EpochCallback& callback = {});
+
+ private:
+  Autoencoder& model_;
+  TrainConfig config_;
+};
+
+}  // namespace sqvae::models

@@ -1,0 +1,78 @@
+#include "nn/linear.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqvae::nn {
+
+namespace {
+Matrix xavier_uniform(std::size_t in, std::size_t out, sqvae::Rng& rng) {
+  Matrix w(in, out);
+  const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = rng.uniform(-bound, bound);
+  }
+  return w;
+}
+}  // namespace
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               sqvae::Rng& rng)
+    : weight(xavier_uniform(in_features, out_features, rng)),
+      bias(Matrix(1, out_features)) {}
+
+Var Linear::forward(Tape& tape, Var x) {
+  assert(tape.value(x).cols() == in_features());
+  return tape.add_bias(tape.matmul(x, tape.leaf(&weight)), tape.leaf(&bias));
+}
+
+Var apply_activation(Tape& tape, Var x, Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return x;
+    case Activation::kReLU:
+      return tape.relu(x);
+    case Activation::kSigmoid:
+      return tape.sigmoid(x);
+    case Activation::kTanh:
+      return tape.tanh_(x);
+  }
+  return x;
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden_activation,
+         sqvae::Rng& rng)
+    : activation_(hidden_activation) {
+  assert(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::forward(Tape& tape, Var x) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i].forward(tape, x);
+    if (i + 1 < layers_.size()) {
+      x = apply_activation(tape, x, activation_);
+    }
+  }
+  return x;
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.num_parameters();
+  return n;
+}
+
+std::vector<Parameter*> Mlp::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& l : layers_) {
+    out.push_back(&l.weight);
+    out.push_back(&l.bias);
+  }
+  return out;
+}
+
+}  // namespace sqvae::nn

@@ -1,0 +1,66 @@
+// Affine layer and multilayer-perceptron helpers over the autodiff tape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+
+namespace sqvae::nn {
+
+using ad::Parameter;
+using ad::Tape;
+using ad::Var;
+
+/// Supported nonlinearities for MLP construction.
+enum class Activation { kNone, kReLU, kSigmoid, kTanh };
+
+/// y = x W + b with W: in x out, b: 1 x out.
+/// Weights are initialised with Glorot/Xavier uniform, biases with zero —
+/// matching the PyTorch defaults the paper's classical layers rely on.
+class Linear {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, sqvae::Rng& rng);
+
+  Var forward(Tape& tape, Var x);
+
+  std::size_t in_features() const { return weight.value.rows(); }
+  std::size_t out_features() const { return weight.value.cols(); }
+
+  /// Trainable-parameter count (weights + biases).
+  std::size_t num_parameters() const {
+    return weight.size() + bias.size();
+  }
+
+  std::vector<Parameter*> parameters() { return {&weight, &bias}; }
+
+  Parameter weight;
+  Parameter bias;
+};
+
+/// A stack of Linear layers with one activation applied after every layer
+/// except the last (the paper's encoder/decoder use ReLU between layers and
+/// a linear output).
+class Mlp {
+ public:
+  /// `dims` = {in, h1, ..., out}; requires dims.size() >= 2.
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden_activation,
+      sqvae::Rng& rng);
+
+  Var forward(Tape& tape, Var x);
+
+  std::size_t num_parameters() const;
+  std::vector<Parameter*> parameters();
+
+  std::vector<Linear>& layers() { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation activation_;
+};
+
+/// Applies an activation as a tape op.
+Var apply_activation(Tape& tape, Var x, Activation a);
+
+}  // namespace sqvae::nn

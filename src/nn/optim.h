@@ -1,0 +1,67 @@
+// Optimizers with parameter groups.
+//
+// Parameter groups are load-bearing for this paper: the heterogeneous
+// learning-rate study (Fig. 7) trains the quantum rotation angles and the
+// classical weights of one hybrid model with *different* learning rates
+// within a single Adam instance — exactly PyTorch's param_groups mechanism.
+#pragma once
+
+#include <vector>
+
+#include "autodiff/tape.h"
+
+namespace sqvae::nn {
+
+using ad::Parameter;
+
+/// A set of parameters sharing one learning rate.
+struct ParamGroup {
+  std::vector<Parameter*> params;
+  double lr = 1e-3;
+};
+
+/// Adam (Kingma & Ba, 2015) with the paper's defaults beta1=0.9,
+/// beta2=0.999, eps=1e-8, and per-group learning rates.
+class Adam {
+ public:
+  explicit Adam(std::vector<ParamGroup> groups, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  /// Applies one update from the gradients accumulated in each parameter.
+  void step();
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  /// Changes the learning rate of group `g`.
+  void set_lr(std::size_t g, double lr);
+  double lr(std::size_t g) const { return groups_[g].lr; }
+  std::size_t num_groups() const { return groups_.size(); }
+
+  /// Total number of scalar parameters across all groups.
+  std::size_t num_parameters() const;
+
+ private:
+  struct State {
+    Matrix m;
+    Matrix v;
+  };
+  std::vector<ParamGroup> groups_;
+  std::vector<std::vector<State>> state_;  // parallel to groups_
+  double beta1_, beta2_, eps_;
+  long long t_ = 0;
+};
+
+/// Plain SGD with per-group learning rates (used in optimizer tests as a
+/// behavioural baseline).
+class Sgd {
+ public:
+  explicit Sgd(std::vector<ParamGroup> groups);
+  void step();
+  void zero_grad();
+
+ private:
+  std::vector<ParamGroup> groups_;
+};
+
+}  // namespace sqvae::nn

@@ -1,0 +1,173 @@
+#include "qsim/density_matrix.h"
+
+#include <cassert>
+
+namespace sqvae::qsim {
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+  assert(num_qubits >= 1 && num_qubits <= 12);
+  data_.assign(dim_ * dim_, cplx{0.0, 0.0});
+  data_[0] = cplx{1.0, 0.0};
+}
+
+DensityMatrix DensityMatrix::from_pure(const Statevector& psi) {
+  DensityMatrix rho(psi.num_qubits());
+  for (std::size_t r = 0; r < rho.dim_; ++r) {
+    for (std::size_t c = 0; c < rho.dim_; ++c) {
+      rho.at(r, c) = psi[r] * std::conj(psi[c]);
+    }
+  }
+  return rho;
+}
+
+void DensityMatrix::apply_single(const Mat2& u, int target) {
+  assert(target >= 0 && target < num_qubits_);
+  const std::size_t bit = std::size_t{1} << target;
+  // Left multiply: rho <- U rho (acts on the row index).
+  for (std::size_t col = 0; col < dim_; ++col) {
+    for (std::size_t r = 0; r < dim_; ++r) {
+      if (r & bit) continue;
+      const cplx a = at(r, col);
+      const cplx b = at(r | bit, col);
+      at(r, col) = u[0] * a + u[1] * b;
+      at(r | bit, col) = u[2] * a + u[3] * b;
+    }
+  }
+  // Right multiply: rho <- rho U^dag (acts on the column index with U*).
+  for (std::size_t row = 0; row < dim_; ++row) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      if (c & bit) continue;
+      const cplx a = at(row, c);
+      const cplx b = at(row, c | bit);
+      at(row, c) = std::conj(u[0]) * a + std::conj(u[1]) * b;
+      at(row, c | bit) = std::conj(u[2]) * a + std::conj(u[3]) * b;
+    }
+  }
+}
+
+void DensityMatrix::apply_controlled_single(const Mat2& u, int control,
+                                            int target) {
+  assert(control != target);
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t cbit = std::size_t{1} << control;
+  for (std::size_t col = 0; col < dim_; ++col) {
+    for (std::size_t r = 0; r < dim_; ++r) {
+      if ((r & cbit) == 0 || (r & tbit) != 0) continue;
+      const cplx a = at(r, col);
+      const cplx b = at(r | tbit, col);
+      at(r, col) = u[0] * a + u[1] * b;
+      at(r | tbit, col) = u[2] * a + u[3] * b;
+    }
+  }
+  for (std::size_t row = 0; row < dim_; ++row) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      if ((c & cbit) == 0 || (c & tbit) != 0) continue;
+      const cplx a = at(row, c);
+      const cplx b = at(row, c | tbit);
+      at(row, c) = std::conj(u[0]) * a + std::conj(u[1]) * b;
+      at(row, c | tbit) = std::conj(u[2]) * a + std::conj(u[3]) * b;
+    }
+  }
+}
+
+void DensityMatrix::apply_op(const GateOp& op,
+                             const std::vector<double>& params) {
+  const double theta = resolve_param(op, params);
+  switch (op.kind) {
+    case GateKind::kCNOT:
+      apply_controlled_single(gate_matrix(GateKind::kX, 0.0), op.control,
+                              op.target);
+      return;
+    case GateKind::kCZ:
+      apply_controlled_single(gate_matrix(GateKind::kZ, 0.0), op.control,
+                              op.target);
+      return;
+    case GateKind::kSWAP:
+      // SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b).
+      apply_controlled_single(gate_matrix(GateKind::kX, 0.0), op.control,
+                              op.target);
+      apply_controlled_single(gate_matrix(GateKind::kX, 0.0), op.target,
+                              op.control);
+      apply_controlled_single(gate_matrix(GateKind::kX, 0.0), op.control,
+                              op.target);
+      return;
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+      apply_controlled_single(gate_matrix(op.kind, theta), op.control,
+                              op.target);
+      return;
+    default:
+      apply_single(gate_matrix(op.kind, theta), op.target);
+      return;
+  }
+}
+
+void DensityMatrix::apply_depolarizing(int target, double p) {
+  if (p <= 0.0) return;
+  // rho -> (1-p) rho + (p/3) (X rho X + Y rho Y + Z rho Z).
+  DensityMatrix x = *this;
+  x.apply_single(gate_matrix(GateKind::kX, 0.0), target);
+  DensityMatrix y = *this;
+  y.apply_single(gate_matrix(GateKind::kY, 0.0), target);
+  DensityMatrix z = *this;
+  z.apply_single(gate_matrix(GateKind::kZ, 0.0), target);
+  const double keep = 1.0 - p;
+  const double mix = p / 3.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = keep * data_[i] +
+               mix * (x.data_[i] + y.data_[i] + z.data_[i]);
+  }
+}
+
+double DensityMatrix::trace() const {
+  double t = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) t += at(i, i).real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // Tr(rho^2) = sum_{ij} rho_ij rho_ji = sum_{ij} |rho_ij|^2 (Hermitian).
+  double p = 0.0;
+  for (const cplx& v : data_) p += std::norm(v);
+  return p;
+}
+
+double DensityMatrix::expectation_z(int qubit) const {
+  const std::size_t bit = std::size_t{1} << qubit;
+  double e = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    e += ((i & bit) ? -1.0 : 1.0) * at(i, i).real();
+  }
+  return e;
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) p[i] = at(i, i).real();
+  return p;
+}
+
+double DensityMatrix::expectation_diag(const std::vector<double>& diag) const {
+  assert(diag.size() == dim_);
+  double e = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) e += diag[i] * at(i, i).real();
+  return e;
+}
+
+DensityMatrix run_density(const Circuit& circuit,
+                          const std::vector<double>& params,
+                          const NoiseModel& noise) {
+  DensityMatrix rho(circuit.num_qubits());
+  for (const GateOp& op : circuit.ops()) {
+    rho.apply_op(op, params);
+    rho.apply_depolarizing(op.target, noise.gate_error);
+    if (op.control >= 0) {
+      rho.apply_depolarizing(op.control, noise.gate_error);
+    }
+  }
+  return rho;
+}
+
+}  // namespace sqvae::qsim

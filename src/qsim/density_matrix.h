@@ -1,0 +1,79 @@
+// Dense density-matrix simulator.
+//
+// Exact mixed-state evolution for small registers (cost 4^n): the oracle
+// against which the stochastic-trajectory noise model (noise.h) is
+// validated. Supports unitary gates (rho -> U rho U^dag), the depolarizing
+// channel, and the same diagonal measurements as the statevector engine.
+// Production training never touches this class — it exists for
+// correctness arguments and the noise ablation's exact reference column.
+#pragma once
+
+#include <vector>
+
+#include "qsim/circuit.h"
+#include "qsim/noise.h"
+#include "qsim/statevector.h"
+
+namespace sqvae::qsim {
+
+class DensityMatrix {
+ public:
+  /// rho = |0...0><0...0| on num_qubits qubits. Requires num_qubits <= 12
+  /// (4^12 complex entries is already 256 MiB).
+  explicit DensityMatrix(int num_qubits);
+
+  /// rho = |psi><psi|.
+  static DensityMatrix from_pure(const Statevector& psi);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return dim_; }
+
+  cplx& at(std::size_t row, std::size_t col) { return data_[row * dim_ + col]; }
+  const cplx& at(std::size_t row, std::size_t col) const {
+    return data_[row * dim_ + col];
+  }
+
+  /// Applies a single-qubit unitary: rho -> U rho U^dag.
+  void apply_single(const Mat2& u, int target);
+
+  /// Controlled single-qubit unitary (control=|1> block).
+  void apply_controlled_single(const Mat2& u, int control, int target);
+
+  /// One gate op of the circuit IR.
+  void apply_op(const GateOp& op, const std::vector<double>& params);
+
+  /// Depolarizing channel on one qubit:
+  /// rho -> (1-p) rho + (p/3)(X rho X + Y rho Y + Z rho Z).
+  void apply_depolarizing(int target, double p);
+
+  /// Tr(rho); 1 for any physical state.
+  double trace() const;
+
+  /// Tr(rho^2); 1 for pure states, 1/2^n for the maximally mixed state.
+  double purity() const;
+
+  /// Tr(rho Z_q).
+  double expectation_z(int qubit) const;
+
+  /// Diagonal of rho (basis-state probabilities).
+  std::vector<double> probabilities() const;
+
+  /// Tr(rho diag(d)).
+  double expectation_diag(const std::vector<double>& diag) const;
+
+ private:
+  int num_qubits_;
+  std::size_t dim_;
+  std::vector<cplx> data_;  // row-major dim x dim
+};
+
+/// Runs the circuit on a density matrix with the exact channel equivalent
+/// of NoiseModel: after every gate, each touched qubit passes through
+/// rho -> (1-p) rho + (p/3)(X rho X + Y rho Y + Z rho Z) with
+/// p = gate_error — by construction the average map of the trajectory
+/// model in noise.h, so trajectory means must converge to this result.
+DensityMatrix run_density(const Circuit& circuit,
+                          const std::vector<double>& params,
+                          const NoiseModel& noise);
+
+}  // namespace sqvae::qsim

@@ -1,0 +1,60 @@
+#include "qsim/embedding.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqvae::qsim {
+
+namespace {
+constexpr double kNormEps = 1e-12;
+
+double l2(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+}  // namespace
+
+Statevector amplitude_embedding(const std::vector<double>& x, int num_qubits) {
+  [[maybe_unused]] const std::size_t dim = std::size_t{1} << num_qubits;
+  assert(x.size() <= dim);
+  Statevector state(num_qubits);
+  const double r = l2(x);
+  if (r < kNormEps) {
+    return state;  // |0...0>
+  }
+  state[0] = cplx{0.0, 0.0};
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    state[j] = cplx{x[j] / r, 0.0};
+  }
+  return state;
+}
+
+std::vector<double> amplitude_embedding_backward(
+    const std::vector<double>& x, const std::vector<double>& state_grad) {
+  assert(state_grad.size() >= x.size());
+  std::vector<double> dx(x.size(), 0.0);
+  const double r = l2(x);
+  if (r < kNormEps) {
+    return dx;  // embedding is constant at the zero vector; subgradient 0
+  }
+  // phi_j = x_j / r; dphi_j/dx_i = (delta_ij - phi_i phi_j) / r.
+  double phi_dot_g = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    phi_dot_g += (x[j] / r) * state_grad[j];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    dx[i] = (state_grad[i] - (x[i] / r) * phi_dot_g) / r;
+  }
+  return dx;
+}
+
+std::vector<double> expectations_z(const Statevector& state) {
+  std::vector<double> out(static_cast<std::size_t>(state.num_qubits()));
+  for (int q = 0; q < state.num_qubits(); ++q) {
+    out[static_cast<std::size_t>(q)] = state.expectation_z(q);
+  }
+  return out;
+}
+
+}  // namespace sqvae::qsim

@@ -1,0 +1,37 @@
+// Classical-to-quantum data embeddings (Section II-C of the paper).
+//
+// Amplitude embedding writes a d-dimensional real feature vector into the
+// 2^n amplitudes of an n-qubit state (qubit-efficient: n = ceil(log2 d)),
+// |x> = (1/||x||_2) sum_j x_j |j>, padding unused basis states with zero.
+// Because the state must be unit-norm, the embedding divides by the L2 norm
+// and the corresponding Jacobian must be applied when backpropagating into
+// upstream classical features — amplitude_embedding_backward does this.
+//
+// Angle embedding rotates qubit q by RY(x_q) (one qubit per feature, not
+// qubit-efficient but differentiable through the standard parameter
+// machinery); it is built directly into circuits via
+// Circuit::angle_embedding, so this header only provides the amplitude side
+// plus measurement helpers.
+#pragma once
+
+#include <vector>
+
+#include "qsim/statevector.h"
+
+namespace sqvae::qsim {
+
+/// Prepares |x> on `num_qubits` qubits from up to 2^num_qubits features.
+/// Features beyond x.size() are zero. A (near-)zero input maps to |0...0>.
+Statevector amplitude_embedding(const std::vector<double>& x, int num_qubits);
+
+/// Chain rule through the L2 normalisation of amplitude_embedding.
+/// `x` is the raw feature vector, `state_grad` is dE/d(real amplitudes)
+/// (length 2^n, e.g. real_initial_gradient of an adjoint sweep). Returns
+/// dE/dx (length x.size()).
+std::vector<double> amplitude_embedding_backward(
+    const std::vector<double>& x, const std::vector<double>& state_grad);
+
+/// <Z_q> for every qubit q — the "expectation output" layer.
+std::vector<double> expectations_z(const Statevector& state);
+
+}  // namespace sqvae::qsim

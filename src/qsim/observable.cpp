@@ -1,0 +1,37 @@
+#include "qsim/observable.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace sqvae::qsim {
+
+std::vector<double> z_diagonal(int num_qubits, int qubit) {
+  assert(qubit >= 0 && qubit < num_qubits);
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  const std::size_t bit = std::size_t{1} << qubit;
+  std::vector<double> d(dim);
+  for (std::size_t i = 0; i < dim; ++i) d[i] = (i & bit) ? -1.0 : 1.0;
+  return d;
+}
+
+std::vector<double> weighted_z_diagonal(int num_qubits,
+                                        const std::vector<double>& weights) {
+  assert(static_cast<int>(weights.size()) == num_qubits);
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  std::vector<double> d(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    double s = 0.0;
+    for (int q = 0; q < num_qubits; ++q) {
+      s += (i & (std::size_t{1} << q)) ? -weights[static_cast<std::size_t>(q)]
+                                       : weights[static_cast<std::size_t>(q)];
+    }
+    d[i] = s;
+  }
+  return d;
+}
+
+std::vector<double> probability_vjp_diagonal(std::vector<double> cotangent) {
+  return cotangent;
+}
+
+}  // namespace sqvae::qsim

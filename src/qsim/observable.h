@@ -1,0 +1,33 @@
+// Diagonal observables.
+//
+// Every measurement the paper's models use — per-qubit Pauli-Z expectations
+// for latent/output vectors, and computational-basis probabilities for the
+// fully-quantum decoder — is diagonal in the computational basis. A single
+// real diagonal d of length 2^n therefore represents any observable we need:
+// <psi|diag(d)|psi> = sum_i d_i |psi_i|^2. This also makes backpropagation
+// uniform: the vector-Jacobian product of a measurement layer is itself an
+// expectation of one *weighted* diagonal observable, so one adjoint sweep
+// differentiates the whole output vector (see adjoint.h).
+#pragma once
+
+#include <vector>
+
+namespace sqvae::qsim {
+
+/// Diagonal of Z acting on `qubit` in an n-qubit register:
+/// d_i = +1 when bit `qubit` of i is 0, else -1.
+std::vector<double> z_diagonal(int num_qubits, int qubit);
+
+/// Diagonal of sum_q w_q Z_q. `weights.size()` must equal num_qubits.
+/// This is the observable whose expectation equals the inner product of the
+/// per-qubit <Z> vector with `weights` — i.e. the VJP observable for an
+/// expectation-vector measurement with cotangent `weights`.
+std::vector<double> weighted_z_diagonal(int num_qubits,
+                                        const std::vector<double>& weights);
+
+/// For a probabilities measurement p_i = |<i|psi>|^2 with cotangent w,
+/// the VJP observable is simply diag(w): sum_i w_i p_i = <psi|diag(w)|psi>.
+/// (Provided for symmetry/readability; it returns its argument.)
+std::vector<double> probability_vjp_diagonal(std::vector<double> cotangent);
+
+}  // namespace sqvae::qsim

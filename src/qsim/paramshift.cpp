@@ -1,0 +1,98 @@
+#include "qsim/paramshift.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace sqvae::qsim {
+
+namespace {
+
+/// Runs the circuit with gate occurrence `op_index`'s angle overridden to
+/// `theta` and returns <diag>.
+double run_with_override(const Circuit& circuit,
+                         const std::vector<double>& params,
+                         const Statevector& initial,
+                         const std::vector<double>& diag, std::size_t op_index,
+                         double theta) {
+  Statevector state = initial;
+  const auto& ops = circuit.ops();
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    if (k == op_index) {
+      GateOp shifted = ops[k];
+      shifted.param = Param::value(theta);
+      apply_op(state, shifted, params);
+    } else {
+      apply_op(state, ops[k], params);
+    }
+  }
+  return state.expectation_diag(diag);
+}
+
+}  // namespace
+
+std::vector<double> parameter_shift_gradient(const Circuit& circuit,
+                                             const std::vector<double>& params,
+                                             const Statevector& initial,
+                                             const std::vector<double>& diag) {
+  assert(initial.num_qubits() == circuit.num_qubits());
+  std::vector<double> grads(
+      static_cast<std::size_t>(circuit.num_param_slots()), 0.0);
+
+  constexpr double kHalfPi = std::numbers::pi / 2.0;
+  const double c_plus = (std::numbers::sqrt2 + 1.0) / (4.0 * std::numbers::sqrt2);
+  const double c_minus = (std::numbers::sqrt2 - 1.0) / (4.0 * std::numbers::sqrt2);
+
+  const auto& ops = circuit.ops();
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const GateOp& op = ops[k];
+    if (!is_parameterized(op.kind) || !op.param.is_slot()) continue;
+    const double theta = resolve_param(op, params);
+    const auto eval = [&](double t) {
+      return run_with_override(circuit, params, initial, diag, k, t);
+    };
+    double g = 0.0;
+    switch (op.kind) {
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kRZ:
+        g = 0.5 * (eval(theta + kHalfPi) - eval(theta - kHalfPi));
+        break;
+      case GateKind::kCRX:
+      case GateKind::kCRY:
+      case GateKind::kCRZ:
+        g = c_plus * (eval(theta + kHalfPi) - eval(theta - kHalfPi)) -
+            c_minus * (eval(theta + 3.0 * kHalfPi) -
+                       eval(theta - 3.0 * kHalfPi));
+        break;
+      default:
+        break;
+    }
+    grads[static_cast<std::size_t>(op.param.index)] += g;
+  }
+  return grads;
+}
+
+std::vector<double> finite_difference_gradient(
+    const Circuit& circuit, const std::vector<double>& params,
+    const Statevector& initial, const std::vector<double>& diag, double eps) {
+  std::vector<double> grads(
+      static_cast<std::size_t>(circuit.num_param_slots()), 0.0);
+  std::vector<double> p = params;
+  for (std::size_t s = 0; s < grads.size(); ++s) {
+    const double saved = p[s];
+    p[s] = saved + eps;
+    Statevector plus = initial;
+    run(circuit, p, plus);
+    p[s] = saved - eps;
+    Statevector minus = initial;
+    run(circuit, p, minus);
+    p[s] = saved;
+    grads[s] =
+        (plus.expectation_diag(diag) - minus.expectation_diag(diag)) /
+        (2.0 * eps);
+  }
+  return grads;
+}
+
+}  // namespace sqvae::qsim

@@ -1,0 +1,28 @@
+// OpenQASM 2.0 export.
+//
+// Emits circuits in the interchange dialect consumed by Qiskit, Cirq, and
+// most hardware toolchains, so circuits trained in this library can be run
+// elsewhere (e.g. on real backends). Parameter slots are resolved against
+// a bound parameter vector at export time — QASM 2.0 has no symbolic
+// parameters. Gate mapping:
+//   RX/RY/RZ -> rx/ry/rz, H/X/Y/Z/S/T -> native, CNOT -> cx, CZ -> cz,
+//   SWAP -> swap, CRX/CRY/CRZ -> crx/cry/crz (qelib1.inc extensions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qsim/circuit.h"
+
+namespace sqvae::qsim {
+
+/// OpenQASM 2.0 program for the circuit with parameters bound from
+/// `params` (slot values) — measurement-free (statevector use).
+std::string to_qasm(const Circuit& circuit, const std::vector<double>& params);
+
+/// Same, with `measure q -> c` lines appended for every qubit (hardware
+/// submission form).
+std::string to_qasm_with_measurements(const Circuit& circuit,
+                                      const std::vector<double>& params);
+
+}  // namespace sqvae::qsim

@@ -1,0 +1,57 @@
+#include "qsim/sampling.h"
+
+#include <cassert>
+
+namespace sqvae::qsim {
+
+std::size_t sample_basis_state(const Statevector& state, sqvae::Rng& rng) {
+  // Inverse-CDF sampling over |a_i|^2. The state is assumed normalised;
+  // round-off is absorbed by returning the last state when r overshoots.
+  double r = rng.uniform();
+  for (std::size_t i = 0; i + 1 < state.dim(); ++i) {
+    const double p = std::norm(state[i]);
+    if (r < p) return i;
+    r -= p;
+  }
+  return state.dim() - 1;
+}
+
+std::vector<std::size_t> sample_shots(const Statevector& state,
+                                      std::size_t shots, sqvae::Rng& rng) {
+  std::vector<std::size_t> out(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    out[s] = sample_basis_state(state, rng);
+  }
+  return out;
+}
+
+std::vector<double> estimate_expectations_z(const Statevector& state,
+                                            std::size_t shots,
+                                            sqvae::Rng& rng) {
+  assert(shots > 0);
+  const int n = state.num_qubits();
+  std::vector<double> sums(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const std::size_t outcome = sample_basis_state(state, rng);
+    for (int q = 0; q < n; ++q) {
+      sums[static_cast<std::size_t>(q)] +=
+          (outcome & (std::size_t{1} << q)) ? -1.0 : 1.0;
+    }
+  }
+  for (double& v : sums) v /= static_cast<double>(shots);
+  return sums;
+}
+
+std::vector<double> estimate_probabilities(const Statevector& state,
+                                           std::size_t shots,
+                                           sqvae::Rng& rng) {
+  assert(shots > 0);
+  std::vector<double> histogram(state.dim(), 0.0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    histogram[sample_basis_state(state, rng)] += 1.0;
+  }
+  for (double& v : histogram) v /= static_cast<double>(shots);
+  return histogram;
+}
+
+}  // namespace sqvae::qsim

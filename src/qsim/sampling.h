@@ -1,0 +1,38 @@
+// Shot-based (finite-sampling) measurement.
+//
+// The paper trains on exact simulator expectations; real NISQ hardware
+// estimates <Z> from a finite number of shots, adding sampling noise of
+// standard deviation sqrt((1 - <Z>^2) / shots). This module provides the
+// shot-sampling primitives used by the hardware-realism ablation
+// (bench_shot_noise) and by tests that verify estimator consistency:
+// measured statistics must converge to the exact values as shots grow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "qsim/statevector.h"
+
+namespace sqvae::qsim {
+
+/// Samples one computational-basis outcome (index of the measured basis
+/// state) from the state's probability distribution.
+std::size_t sample_basis_state(const Statevector& state, sqvae::Rng& rng);
+
+/// Draws `shots` basis-state samples.
+std::vector<std::size_t> sample_shots(const Statevector& state,
+                                      std::size_t shots, sqvae::Rng& rng);
+
+/// Shot-based estimate of the per-qubit <Z> vector: for each qubit,
+/// (+1 counts - (-1) counts) / shots over the same `shots` samples.
+std::vector<double> estimate_expectations_z(const Statevector& state,
+                                            std::size_t shots,
+                                            sqvae::Rng& rng);
+
+/// Shot-based estimate of basis-state probabilities (normalised histogram).
+std::vector<double> estimate_probabilities(const Statevector& state,
+                                           std::size_t shots,
+                                           sqvae::Rng& rng);
+
+}  // namespace sqvae::qsim

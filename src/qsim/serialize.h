@@ -1,0 +1,31 @@
+// Circuit text serialization.
+//
+// A minimal line-oriented format (the same one Circuit::to_string emits)
+// for persisting and exchanging circuits:
+//
+//   qubits 4
+//   RY t=0 theta=p[0]
+//   RZ t=1 theta=0.5
+//   CNOT c=0 t=1
+//   CRZ c=2 t=3 theta=p[7]
+//
+// Round-trips exactly: parse(serialize(c)) reproduces the op list,
+// parameter bindings, and slot count. Used by the checkpointing example
+// and as a debugging interchange format.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "qsim/circuit.h"
+
+namespace sqvae::qsim {
+
+/// Header line + one line per gate (Circuit::to_string body).
+std::string circuit_to_text(const Circuit& circuit);
+
+/// Parses the format above. std::nullopt on any malformed line, unknown
+/// gate, out-of-range wire, or missing header.
+std::optional<Circuit> circuit_from_text(const std::string& text);
+
+}  // namespace sqvae::qsim

@@ -1,0 +1,150 @@
+#include "qsim/statevector.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqvae::qsim {
+
+namespace {
+[[maybe_unused]] bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+int log2_size(std::size_t n) {
+  int k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+}  // namespace
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  assert(num_qubits >= 1 && num_qubits <= 24);
+  amps_.assign(std::size_t{1} << num_qubits, cplx{0.0, 0.0});
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+Statevector::Statevector(std::vector<cplx> amplitudes)
+    : amps_(std::move(amplitudes)) {
+  assert(is_power_of_two(amps_.size()));
+  num_qubits_ = log2_size(amps_.size());
+}
+
+void Statevector::reset() {
+  for (auto& a : amps_) a = cplx{0.0, 0.0};
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+double Statevector::norm_squared() const {
+  double s = 0.0;
+  for (const auto& a : amps_) s += std::norm(a);
+  return s;
+}
+
+bool Statevector::is_normalized(double tol) const {
+  return std::abs(norm_squared() - 1.0) <= tol;
+}
+
+void Statevector::apply_single(const Mat2& m, int target) {
+  assert(target >= 0 && target < num_qubits_);
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t n = amps_.size();
+  // Iterate over all index pairs (i, i+stride) where bit `target` of i is 0.
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx a0 = amps_[i];
+      const cplx a1 = amps_[i + stride];
+      amps_[i] = m[0] * a0 + m[1] * a1;
+      amps_[i + stride] = m[2] * a0 + m[3] * a1;
+    }
+  }
+}
+
+void Statevector::apply_controlled_single(const Mat2& m, int control,
+                                          int target) {
+  assert(control >= 0 && control < num_qubits_);
+  assert(target >= 0 && target < num_qubits_);
+  assert(control != target);
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Visit each affected pair once: control bit set, target bit clear.
+    if ((i & cbit) == 0 || (i & tbit) != 0) continue;
+    const cplx a0 = amps_[i];
+    const cplx a1 = amps_[i | tbit];
+    amps_[i] = m[0] * a0 + m[1] * a1;
+    amps_[i | tbit] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void Statevector::apply_cnot(int control, int target) {
+  assert(control != target);
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & cbit) != 0 && (i & tbit) == 0) {
+      std::swap(amps_[i], amps_[i | tbit]);
+    }
+  }
+}
+
+void Statevector::apply_cz(int control, int target) {
+  assert(control != target);
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & cbit) != 0 && (i & tbit) != 0) amps_[i] = -amps_[i];
+  }
+}
+
+void Statevector::apply_swap(int a, int b) {
+  assert(a != b);
+  const std::size_t abit = std::size_t{1} << a;
+  const std::size_t bbit = std::size_t{1} << b;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Swap |..1..0..> with |..0..1..>; visit each pair once.
+    if ((i & abit) != 0 && (i & bbit) == 0) {
+      std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+    }
+  }
+}
+
+double Statevector::expectation_z(int qubit) const {
+  assert(qubit >= 0 && qubit < num_qubits_);
+  const std::size_t bit = std::size_t{1} << qubit;
+  double s = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const double p = std::norm(amps_[i]);
+    s += (i & bit) ? -p : p;
+  }
+  return s;
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> p(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  return p;
+}
+
+double Statevector::expectation_diag(const std::vector<double>& diag) const {
+  assert(diag.size() == amps_.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    s += diag[i] * std::norm(amps_[i]);
+  }
+  return s;
+}
+
+cplx Statevector::inner(const Statevector& a, const Statevector& b) {
+  assert(a.dim() == b.dim());
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    s += std::conj(a[i]) * b[i];
+  }
+  return s;
+}
+
+}  // namespace sqvae::qsim

@@ -1,0 +1,25 @@
+// Shared numeric types for the statevector simulator.
+#pragma once
+
+#include <array>
+#include <complex>
+
+namespace sqvae::qsim {
+
+using cplx = std::complex<double>;
+
+/// Row-major 2x2 complex matrix: {m00, m01, m10, m11}.
+using Mat2 = std::array<cplx, 4>;
+
+/// Conjugate transpose of a 2x2 matrix.
+inline Mat2 dagger(const Mat2& m) {
+  return {std::conj(m[0]), std::conj(m[2]), std::conj(m[1]), std::conj(m[3])};
+}
+
+/// 2x2 matrix product a*b.
+inline Mat2 matmul2(const Mat2& a, const Mat2& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+}  // namespace sqvae::qsim

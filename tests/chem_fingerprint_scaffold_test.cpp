@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "chem/fingerprint.h"
+#include "chem/scaffold.h"
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/molecule_gen.h"
+
+namespace sqvae::chem {
+namespace {
+
+Molecule mol(const char* smiles) {
+  auto m = from_smiles(smiles);
+  EXPECT_TRUE(m.has_value()) << smiles;
+  return *m;
+}
+
+TEST(Fingerprint, IdenticalMoleculesAreIdentical) {
+  const Fingerprint a = morgan_fingerprint(mol("Cc1ccccc1"));
+  const Fingerprint b = morgan_fingerprint(mol("Cc1ccccc1"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tanimoto(a, b), 1.0);
+}
+
+TEST(Fingerprint, InvariantUnderAtomRelabeling) {
+  sqvae::Rng rng(5);
+  const auto config = sqvae::data::qm9_config(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Molecule m = sqvae::data::generate_molecule(config, rng);
+    const auto perm = rng.permutation(static_cast<std::size_t>(m.num_atoms()));
+    Molecule shuffled;
+    std::vector<int> new_index(perm.size());
+    for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+      new_index[perm[pos]] = static_cast<int>(pos);
+      shuffled.add_atom(m.atom(static_cast<int>(perm[pos])));
+    }
+    for (const Bond& b : m.bonds()) {
+      shuffled.set_bond(new_index[static_cast<std::size_t>(b.a)],
+                        new_index[static_cast<std::size_t>(b.b)], b.type);
+    }
+    EXPECT_EQ(morgan_fingerprint(m), morgan_fingerprint(shuffled))
+        << "trial " << trial;
+  }
+}
+
+TEST(Fingerprint, SimilarBeatsDissimilar) {
+  const Fingerprint toluene = morgan_fingerprint(mol("Cc1ccccc1"));
+  const Fingerprint ethylbenzene = morgan_fingerprint(mol("CCc1ccccc1"));
+  const Fingerprint glycine = morgan_fingerprint(mol("NCC(=O)O"));
+  EXPECT_GT(tanimoto(toluene, ethylbenzene), tanimoto(toluene, glycine));
+}
+
+TEST(Fingerprint, EmptyMoleculeYieldsEmptyFingerprint) {
+  Molecule empty;
+  const Fingerprint fp = morgan_fingerprint(empty);
+  EXPECT_EQ(fp.count(), 0u);
+  EXPECT_EQ(tanimoto(fp, fp), 1.0);  // defined as 1 for two empty sets
+}
+
+TEST(Fingerprint, RadiusWidensBitCount) {
+  const Molecule m = mol("CC(=O)Oc1ccccc1");
+  EXPECT_LE(morgan_fingerprint(m, 0).count(),
+            morgan_fingerprint(m, 1).count());
+  EXPECT_LE(morgan_fingerprint(m, 1).count(),
+            morgan_fingerprint(m, 2).count());
+}
+
+TEST(Fingerprint, InternalDiversityBehaviour) {
+  std::vector<Fingerprint> same = {morgan_fingerprint(mol("CCO")),
+                                   morgan_fingerprint(mol("CCO"))};
+  EXPECT_NEAR(internal_diversity(same), 0.0, 1e-12);
+
+  std::vector<Fingerprint> mixed = {
+      morgan_fingerprint(mol("CCO")), morgan_fingerprint(mol("c1ccccc1")),
+      morgan_fingerprint(mol("FC(F)F"))};
+  EXPECT_GT(internal_diversity(mixed), 0.5);
+  EXPECT_EQ(internal_diversity({}), 0.0);
+}
+
+TEST(Fingerprint, NearestSimilarity) {
+  const std::vector<Fingerprint> refs = {
+      morgan_fingerprint(mol("Cc1ccccc1")),
+      morgan_fingerprint(mol("NCC(=O)O"))};
+  EXPECT_EQ(nearest_similarity(morgan_fingerprint(mol("Cc1ccccc1")), refs),
+            1.0);
+  EXPECT_EQ(nearest_similarity(morgan_fingerprint(mol("CCO")), {}), 0.0);
+}
+
+TEST(Scaffold, AcyclicMoleculeHasEmptyScaffold) {
+  EXPECT_TRUE(murcko_scaffold(mol("CCO")).empty());
+  EXPECT_FALSE(scaffold_smiles(mol("CCCCC")).has_value());
+}
+
+TEST(Scaffold, TolueneScaffoldIsBenzene) {
+  const auto s = scaffold_smiles(mol("Cc1ccccc1"));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, "c1ccccc1");
+}
+
+TEST(Scaffold, LinkerBetweenRingsIsKept) {
+  // Two phenyl rings joined by an ethylene linker: the linker stays, the
+  // terminal methyl goes.
+  const Molecule m = mol("Cc1ccccc1CCc1ccccc1");
+  const Molecule scaffold = murcko_scaffold(m);
+  EXPECT_EQ(scaffold.num_atoms(), 14);  // 12 ring atoms + 2 linker carbons
+}
+
+TEST(Scaffold, RingMoleculeIsItsOwnScaffold) {
+  const Molecule m = mol("c1ccccc1");
+  EXPECT_EQ(murcko_scaffold(m).num_atoms(), 6);
+}
+
+TEST(Lipinski, SmallDrugPasses) {
+  const LipinskiReport r = lipinski(mol("CC(=O)Oc1ccccc1"));
+  EXPECT_EQ(r.violations, 0);
+  EXPECT_TRUE(r.passes);
+}
+
+TEST(Lipinski, ViolationsCounted) {
+  // A very greasy long chain: logP > 5 is one violation (passes <= 1).
+  Molecule chain;
+  int prev = chain.add_atom(Element::kC);
+  for (int i = 0; i < 29; ++i) {
+    const int next = chain.add_atom(Element::kC);
+    chain.set_bond(prev, next, BondType::kSingle);
+    prev = next;
+  }
+  const LipinskiReport r = lipinski(chain);
+  EXPECT_GE(r.violations, 1);
+  EXPECT_GT(r.logp, 5.0);
+}
+
+TEST(Formula, HillNotation) {
+  EXPECT_EQ(molecular_formula(mol("c1ccccc1")), "C6H6");
+  EXPECT_EQ(molecular_formula(mol("CCO")), "C2H6O");
+  EXPECT_EQ(molecular_formula(mol("C")), "CH4");
+  EXPECT_EQ(molecular_formula(mol("NC(=O)N")), "CH4N2O");  // urea
+  EXPECT_EQ(molecular_formula(mol("FC(F)(F)F")), "CF4");
+  Molecule empty;
+  EXPECT_EQ(molecular_formula(empty), "");
+}
+
+}  // namespace
+}  // namespace sqvae::chem

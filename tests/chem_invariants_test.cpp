@@ -1,0 +1,138 @@
+// Descriptor and property invariants swept over the full generator
+// distributions — the properties any cheminformatics backend must satisfy
+// regardless of molecule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/descriptors.h"
+#include "chem/fingerprint.h"
+#include "chem/logp.h"
+#include "chem/qed.h"
+#include "chem/sa_score.h"
+#include "chem/scaffold.h"
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/molecule_gen.h"
+
+namespace sqvae::chem {
+namespace {
+
+class DescriptorInvariants
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>> {};
+
+TEST_P(DescriptorInvariants, HoldOverGeneratorDistribution) {
+  const auto [pdbbind, seed] = GetParam();
+  sqvae::Rng rng(seed);
+  const auto config =
+      pdbbind ? sqvae::data::pdbbind_config(32) : sqvae::data::qm9_config(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Molecule mol = sqvae::data::generate_molecule(config, rng);
+    const Descriptors d = compute_descriptors(mol);
+
+    // Count sanity.
+    EXPECT_EQ(d.heavy_atoms, mol.num_atoms());
+    EXPECT_GT(d.molecular_weight, 0.0);
+    EXPECT_GE(d.hba, 0);
+    EXPECT_GE(d.hbd, 0);
+    // Every donor among N/O is also an acceptor under Lipinski counting.
+    EXPECT_LE(d.hbd, d.hba + mol.num_atoms());  // S-H donors allowed extra
+    EXPECT_GE(d.tpsa, 0.0);
+    EXPECT_GE(d.rotatable_bonds, 0);
+    EXPECT_LE(d.rotatable_bonds, mol.num_bonds());
+    EXPECT_GE(d.aromatic_rings, 0);
+    EXPECT_LE(d.aromatic_rings, d.rings + 1);
+    EXPECT_EQ(d.rings, cyclomatic_number(mol));
+
+    // MW consistency: heavier than the heavy atoms alone (H adds mass),
+    // lighter than atoms + 4 H each.
+    double heavy = 0.0;
+    for (int i = 0; i < mol.num_atoms(); ++i) {
+      heavy += atomic_weight(mol.atom(i));
+    }
+    EXPECT_GE(d.molecular_weight, heavy - 1e-9);
+    EXPECT_LE(d.molecular_weight, heavy + 4.1 * mol.num_atoms());
+
+    // Property bounds.
+    const double q = qed(mol);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    const double sa = sa_score(mol);
+    EXPECT_GE(sa, 1.0);
+    EXPECT_LE(sa, 10.0);
+    EXPECT_TRUE(std::isfinite(crippen_logp(mol)));
+
+    // Scaffold is a subgraph: never more atoms than the molecule.
+    const Molecule scaffold = murcko_scaffold(mol);
+    EXPECT_LE(scaffold.num_atoms(), mol.num_atoms());
+    if (!scaffold.empty()) {
+      EXPECT_TRUE(scaffold.valences_ok());
+      // Scaffold of the scaffold is itself (idempotence).
+      EXPECT_EQ(murcko_scaffold(scaffold).num_atoms(), scaffold.num_atoms());
+    }
+
+    // Fingerprint self-similarity.
+    const Fingerprint fp = morgan_fingerprint(mol);
+    EXPECT_EQ(tanimoto(fp, fp), 1.0);
+
+    // Formula parses back to the right heavy-atom count.
+    const std::string formula = molecular_formula(mol);
+    EXPECT_FALSE(formula.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, DescriptorInvariants,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(201u, 202u, 203u)));
+
+TEST(PropertyMonotonicity, AddingPolarGroupsLowersLogp) {
+  // Successively oxygenating a hexane chain must monotonically lower logP.
+  auto build = [](int hydroxyls) {
+    Molecule m;
+    int prev = m.add_atom(Element::kC);
+    for (int i = 0; i < 5; ++i) {
+      const int next = m.add_atom(Element::kC);
+      m.set_bond(prev, next, BondType::kSingle);
+      prev = next;
+    }
+    for (int h = 0; h < hydroxyls; ++h) {
+      const int o = m.add_atom(Element::kO);
+      m.set_bond(h, o, BondType::kSingle);
+    }
+    return m;
+  };
+  double previous = crippen_logp(build(0));
+  for (int h = 1; h <= 3; ++h) {
+    const double current = crippen_logp(build(h));
+    EXPECT_LT(current, previous) << h;
+    previous = current;
+  }
+}
+
+TEST(PropertyMonotonicity, GrowingChainRaisesMwAndSaPenalty) {
+  double prev_mw = 0.0;
+  for (int n : {5, 10, 20, 30}) {
+    Molecule m;
+    int prev = m.add_atom(Element::kC);
+    for (int i = 1; i < n; ++i) {
+      const int next = m.add_atom(Element::kC);
+      m.set_bond(prev, next, BondType::kSingle);
+      prev = next;
+    }
+    const double mw = m.molecular_weight();
+    EXPECT_GT(mw, prev_mw);
+    prev_mw = mw;
+  }
+}
+
+TEST(PropertyMonotonicity, TpsaAdditiveOverDistantGroups) {
+  // TPSA of a diol ~ 2x TPSA of the mono-ol (contributions are per-atom).
+  const auto mono = from_smiles("CCCCCO").value();
+  const auto diol = from_smiles("OCCCCCO").value();
+  EXPECT_NEAR(topological_polar_surface_area(diol),
+              2.0 * topological_polar_surface_area(mono), 1e-9);
+}
+
+}  // namespace
+}  // namespace sqvae::chem

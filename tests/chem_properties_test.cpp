@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "chem/descriptors.h"
+#include "chem/logp.h"
+#include "chem/qed.h"
+#include "chem/sa_score.h"
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/molecule_gen.h"
+
+namespace sqvae::chem {
+namespace {
+
+Molecule mol(const char* smiles) {
+  auto m = from_smiles(smiles);
+  EXPECT_TRUE(m.has_value()) << smiles;
+  return *m;
+}
+
+TEST(Descriptors, BenzeneBasics) {
+  const Descriptors d = compute_descriptors(mol("c1ccccc1"));
+  EXPECT_NEAR(d.molecular_weight, 78.11, 0.05);
+  EXPECT_EQ(d.heavy_atoms, 6);
+  EXPECT_EQ(d.hba, 0);
+  EXPECT_EQ(d.hbd, 0);
+  EXPECT_NEAR(d.tpsa, 0.0, 1e-9);
+  EXPECT_EQ(d.rotatable_bonds, 0);
+  EXPECT_EQ(d.aromatic_rings, 1);
+  EXPECT_EQ(d.rings, 1);
+}
+
+TEST(Descriptors, EthanolDonorsAcceptors) {
+  const Descriptors d = compute_descriptors(mol("CCO"));
+  EXPECT_EQ(d.hba, 1);
+  EXPECT_EQ(d.hbd, 1);
+  EXPECT_NEAR(d.tpsa, 20.23, 0.01);  // hydroxyl contribution
+  EXPECT_EQ(d.rotatable_bonds, 0);   // C-O terminal on both heavy ends? C-C-O: the C-O bond has terminal O
+}
+
+TEST(Descriptors, GlycineDescriptors) {
+  // Glycine NCC(=O)O: N (donor+acceptor), carbonyl O, hydroxyl O.
+  const Descriptors d = compute_descriptors(mol("NCC(=O)O"));
+  EXPECT_EQ(d.hba, 3);
+  EXPECT_EQ(d.hbd, 2);  // NH2 and OH
+  EXPECT_GT(d.tpsa, 50.0);
+  EXPECT_LT(d.tpsa, 80.0);
+}
+
+TEST(Descriptors, RotatableBonds) {
+  // Butane C-C-C-C: one central rotatable bond (terminal bonds excluded).
+  EXPECT_EQ(compute_descriptors(mol("CCCC")).rotatable_bonds, 1);
+  // Hexane: 3 internal bonds.
+  EXPECT_EQ(compute_descriptors(mol("CCCCCC")).rotatable_bonds, 3);
+  // Cyclohexane: ring bonds are not rotatable.
+  EXPECT_EQ(compute_descriptors(mol("C1CCCCC1")).rotatable_bonds, 0);
+}
+
+TEST(Descriptors, StructuralAlerts) {
+  // Peroxide O-O is an alert.
+  EXPECT_GE(structural_alert_count(mol("COOC")), 1);
+  // Plain ethanol has none.
+  EXPECT_EQ(structural_alert_count(mol("CCO")), 0);
+  // Azo N=N flagged.
+  EXPECT_GE(structural_alert_count(mol("CN=NC")), 1);
+}
+
+TEST(LogP, HydrophobicVsPolarOrdering) {
+  // Alkanes are lipophilic; alcohols and amines are less so.
+  const double hexane = crippen_logp(mol("CCCCCC"));
+  const double ethanol = crippen_logp(mol("CCO"));
+  const double glycine = crippen_logp(mol("NCC(=O)O"));
+  EXPECT_GT(hexane, ethanol);
+  EXPECT_GT(ethanol, glycine);
+  EXPECT_GT(hexane, 1.5);   // experimental ~3.9
+  EXPECT_LT(glycine, 0.0);  // experimental ~-3.2
+}
+
+TEST(LogP, AromaticCarbonsRaiseLogp) {
+  EXPECT_GT(crippen_logp(mol("c1ccccc1")), 1.0);  // benzene ~2.1
+}
+
+TEST(LogP, NormalizedRange) {
+  sqvae::Rng rng(42);
+  const auto config = sqvae::data::pdbbind_config(32);
+  for (int i = 0; i < 30; ++i) {
+    const Molecule m = sqvae::data::generate_molecule(config, rng);
+    const double v = normalized_logp(m);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Qed, BoundsAndEmptyMolecule) {
+  Molecule empty;
+  EXPECT_EQ(qed(empty), 0.0);
+  sqvae::Rng rng(43);
+  const auto config = sqvae::data::pdbbind_config(32);
+  for (int i = 0; i < 30; ++i) {
+    const Molecule m = sqvae::data::generate_molecule(config, rng);
+    const double v = qed(m);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    const double u = qed_unweighted(m);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Qed, DrugSizedBeatsTinyAndPathological) {
+  // A drug-like aromatic amine scaffold should out-score both methane
+  // (too small on every descriptor) and a strained peroxide-laden graph.
+  const double druglike = qed(mol("Cc1ccccc1NCC(=O)O"));
+  const double tiny = qed(mol("C"));
+  const double nasty = qed(mol("COOC(F)(F)F"));
+  EXPECT_GT(druglike, tiny);
+  EXPECT_GT(druglike, nasty);
+}
+
+TEST(Qed, DesirabilityPeaksNearDrugTypicalValues) {
+  // MW desirability (row 0) should peak around ~300 g/mol and fall off for
+  // very small and very large molecules.
+  const double at_300 = qed_desirability(0, 300.0);
+  EXPECT_GT(at_300, qed_desirability(0, 30.0));
+  EXPECT_GT(at_300, qed_desirability(0, 900.0));
+  // ALERTS desirability (row 7) decreases with alert count.
+  EXPECT_GT(qed_desirability(7, 0.0), qed_desirability(7, 3.0));
+}
+
+TEST(SaScore, BoundsAndMonotonicity) {
+  const double simple = sa_score(mol("CCO"));
+  const double benzene = sa_score(mol("c1ccccc1"));
+  // A dense fused polycyclic with quaternary centres is harder.
+  sqvae::Rng rng(7);
+  EXPECT_GE(simple, 1.0);
+  EXPECT_LE(simple, 10.0);
+  EXPECT_LE(benzene, 6.0);  // aromatics are common chemistry
+
+  // Normalised score is in [0, 1] and inverts the raw ordering.
+  const double ns = normalized_sa_score(mol("CCO"));
+  EXPECT_GE(ns, 0.0);
+  EXPECT_LE(ns, 1.0);
+}
+
+TEST(SaScore, EmptyIsWorst) {
+  Molecule empty;
+  EXPECT_EQ(sa_score(empty), 10.0);
+  EXPECT_EQ(normalized_sa_score(empty), 0.0);
+}
+
+TEST(SaScore, MacrocyclePenalized) {
+  // 12-membered carbon ring vs cyclohexane.
+  Molecule macro;
+  for (int i = 0; i < 12; ++i) macro.add_atom(Element::kC);
+  for (int i = 0; i < 12; ++i) {
+    macro.set_bond(i, (i + 1) % 12, BondType::kSingle);
+  }
+  const double macro_sa = sa_score(macro);
+  const double hexane_ring_sa = sa_score(mol("C1CCCCC1"));
+  EXPECT_GT(macro_sa, hexane_ring_sa);
+}
+
+// Property sweep: all three Table II metrics stay in bounds over the
+// generator's whole output distribution.
+class PropertyBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertyBounds, AllMetricsBounded) {
+  sqvae::Rng rng(GetParam());
+  const auto config = sqvae::data::pdbbind_config(32);
+  for (int i = 0; i < 25; ++i) {
+    const Molecule m = sqvae::data::generate_molecule(config, rng);
+    EXPECT_GE(qed(m), 0.0);
+    EXPECT_LE(qed(m), 1.0);
+    EXPECT_GE(normalized_logp(m), 0.0);
+    EXPECT_LE(normalized_logp(m), 1.0);
+    EXPECT_GE(normalized_sa_score(m), 0.0);
+    EXPECT_LE(normalized_sa_score(m), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyBounds,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace sqvae::chem

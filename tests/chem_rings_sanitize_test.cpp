@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "chem/molecule_matrix.h"
+#include "chem/rings.h"
+#include "chem/sanitize.h"
+#include "common/rng.h"
+
+namespace sqvae::chem {
+namespace {
+
+Molecule ring_of_carbons(int n, BondType type) {
+  Molecule m;
+  for (int i = 0; i < n; ++i) m.add_atom(Element::kC);
+  for (int i = 0; i < n; ++i) m.set_bond(i, (i + 1) % n, type);
+  return m;
+}
+
+TEST(Rings, BenzeneHasOneSixRing) {
+  const Molecule m = ring_of_carbons(6, BondType::kAromatic);
+  const RingInfo info = perceive_rings(m);
+  ASSERT_EQ(info.rings.size(), 1u);
+  EXPECT_EQ(info.rings[0].size(), 6u);
+  EXPECT_EQ(cyclomatic_number(m), 1);
+  for (bool f : info.atom_in_ring) EXPECT_TRUE(f);
+  for (bool f : info.bond_in_ring) EXPECT_TRUE(f);
+  EXPECT_EQ(aromatic_rings(m, info).size(), 1u);
+}
+
+TEST(Rings, ChainHasNoRings) {
+  Molecule m;
+  for (int i = 0; i < 5; ++i) m.add_atom(Element::kC);
+  for (int i = 0; i < 4; ++i) m.set_bond(i, i + 1, BondType::kSingle);
+  const RingInfo info = perceive_rings(m);
+  EXPECT_TRUE(info.rings.empty());
+  EXPECT_EQ(cyclomatic_number(m), 0);
+  for (bool f : info.atom_in_ring) EXPECT_FALSE(f);
+}
+
+TEST(Rings, NaphthaleneHasTwoSixRings) {
+  // Two fused aromatic six-rings sharing bond (0, 1).
+  Molecule m;
+  for (int i = 0; i < 10; ++i) m.add_atom(Element::kC);
+  const int ring1[] = {0, 1, 2, 3, 4, 5};
+  const int ring2[] = {0, 1, 6, 7, 8, 9};
+  for (int i = 0; i < 6; ++i) {
+    m.set_bond(ring1[i], ring1[(i + 1) % 6], BondType::kAromatic);
+  }
+  // Second ring shares edge 0-1: connect 1-6, 6-7, 7-8, 8-9, 9-0.
+  m.set_bond(1, 6, BondType::kAromatic);
+  m.set_bond(6, 7, BondType::kAromatic);
+  m.set_bond(7, 8, BondType::kAromatic);
+  m.set_bond(8, 9, BondType::kAromatic);
+  m.set_bond(9, 0, BondType::kAromatic);
+  (void)ring2;
+
+  EXPECT_EQ(cyclomatic_number(m), 2);
+  const RingInfo info = perceive_rings(m);
+  EXPECT_EQ(info.rings.size(), 2u);
+  EXPECT_EQ(aromatic_rings(m, info).size(), 2u);
+  EXPECT_TRUE(m.valences_ok());
+}
+
+TEST(Rings, CyclohexaneIsNonAromaticRing) {
+  const Molecule m = ring_of_carbons(6, BondType::kSingle);
+  const RingInfo info = perceive_rings(m);
+  ASSERT_EQ(info.rings.size(), 1u);
+  EXPECT_TRUE(aromatic_rings(m, info).empty());
+}
+
+TEST(Rings, TriangleIsSmallestRing) {
+  const Molecule m = ring_of_carbons(3, BondType::kSingle);
+  const RingInfo info = perceive_rings(m);
+  ASSERT_EQ(info.rings.size(), 1u);
+  EXPECT_EQ(info.rings[0].size(), 3u);
+}
+
+TEST(Sanitize, ValidMoleculeUnchanged) {
+  const Molecule m = ring_of_carbons(6, BondType::kAromatic);
+  SanitizeStats stats;
+  const Molecule out = sanitize(m, &stats);
+  EXPECT_EQ(out.num_atoms(), 6);
+  EXPECT_EQ(stats.valence_demotions + stats.bonds_removed +
+                stats.aromatic_demotions + stats.atoms_dropped,
+            0);
+  EXPECT_TRUE(is_valid(out));
+}
+
+TEST(Sanitize, AcyclicAromaticBondDemoted) {
+  Molecule m;
+  m.add_atom(Element::kC);
+  m.add_atom(Element::kC);
+  m.set_bond(0, 1, BondType::kAromatic);  // aromatic bond outside any ring
+  EXPECT_FALSE(is_valid(m));
+  SanitizeStats stats;
+  const Molecule out = sanitize(m, &stats);
+  EXPECT_EQ(out.bond_between(0, 1), BondType::kSingle);
+  EXPECT_GE(stats.aromatic_demotions, 1);
+  EXPECT_TRUE(is_valid(out));
+}
+
+TEST(Sanitize, OvervalentCarbonRepaired) {
+  // C with three double bonds (valence 6) must be demoted to <= 4.
+  Molecule m;
+  const int c = m.add_atom(Element::kC);
+  for (int i = 0; i < 3; ++i) {
+    m.set_bond(c, m.add_atom(Element::kC), BondType::kDouble);
+  }
+  EXPECT_FALSE(m.valences_ok());
+  const Molecule out = sanitize(m);
+  EXPECT_TRUE(out.valences_ok());
+  EXPECT_TRUE(is_valid(out));
+}
+
+TEST(Sanitize, FluorineSingleBondOnly) {
+  // F double-bonded to C is over-valent; sanitize demotes it.
+  Molecule m;
+  const int c = m.add_atom(Element::kC);
+  const int f = m.add_atom(Element::kF);
+  m.set_bond(c, f, BondType::kDouble);
+  const Molecule out = sanitize(m);
+  EXPECT_TRUE(out.valences_ok());
+  EXPECT_EQ(out.bond_between(0, 1), BondType::kSingle);
+}
+
+TEST(Sanitize, KeepsLargestFragment) {
+  Molecule m;
+  // Fragment A: 4-atom chain; fragment B: 2 atoms.
+  for (int i = 0; i < 6; ++i) m.add_atom(Element::kC);
+  m.set_bond(0, 1, BondType::kSingle);
+  m.set_bond(1, 2, BondType::kSingle);
+  m.set_bond(2, 3, BondType::kSingle);
+  m.set_bond(4, 5, BondType::kSingle);
+  SanitizeStats stats;
+  const Molecule out = sanitize(m, &stats);
+  EXPECT_EQ(out.num_atoms(), 4);
+  EXPECT_EQ(stats.atoms_dropped, 2);
+  EXPECT_TRUE(is_valid(out));
+}
+
+TEST(Sanitize, EmptyMoleculeIsValid) {
+  Molecule m;
+  EXPECT_TRUE(is_valid(m));
+  const Molecule out = sanitize(m);
+  EXPECT_TRUE(out.empty());
+}
+
+// Property test: sanitize(decode(random matrix)) is always valid. This is
+// the exact code path applied to VAE samples in Table II.
+class SanitizeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SanitizeFuzz, RandomMatricesAlwaysSanitizeToValidMolecules) {
+  sqvae::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t dim = rng.bernoulli(0.5) ? 8 : 16;
+    Matrix m(dim, dim);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      // Mix of plausible codes and out-of-range garbage.
+      m[i] = rng.uniform(-1.0, 6.0);
+    }
+    const Molecule decoded = decode_molecule(m);
+    const Molecule out = sanitize(decoded);
+    EXPECT_TRUE(is_valid(out)) << "seed " << GetParam() << " trial " << trial;
+    EXPECT_TRUE(out.valences_ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SanitizeFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sqvae::chem

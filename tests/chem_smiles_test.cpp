@@ -1,0 +1,185 @@
+#include "chem/smiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chem/canonical.h"
+#include "chem/sanitize.h"
+#include "common/rng.h"
+#include "data/molecule_gen.h"
+
+namespace sqvae::chem {
+namespace {
+
+TEST(SmilesWriter, SimpleMolecules) {
+  Molecule methane;
+  methane.add_atom(Element::kC);
+  EXPECT_EQ(to_smiles(methane).value(), "C");
+
+  Molecule ethanol;
+  ethanol.add_atom(Element::kC);
+  ethanol.add_atom(Element::kC);
+  ethanol.add_atom(Element::kO);
+  ethanol.set_bond(0, 1, BondType::kSingle);
+  ethanol.set_bond(1, 2, BondType::kSingle);
+  const std::string s = to_smiles(ethanol).value();
+  // Canonical form is one of the linear writings of CCO.
+  const Molecule back = from_smiles(s).value();
+  EXPECT_EQ(back.num_atoms(), 3);
+}
+
+TEST(SmilesWriter, BenzeneUsesAromaticRingClosure) {
+  Molecule m;
+  for (int i = 0; i < 6; ++i) m.add_atom(Element::kC);
+  for (int i = 0; i < 6; ++i) m.set_bond(i, (i + 1) % 6, BondType::kAromatic);
+  EXPECT_EQ(to_smiles(m).value(), "c1ccccc1");
+}
+
+TEST(SmilesWriter, EmptyAndDisconnected) {
+  Molecule empty;
+  EXPECT_EQ(to_smiles(empty).value(), "");
+  Molecule two;
+  two.add_atom(Element::kC);
+  two.add_atom(Element::kC);  // no bond: two fragments
+  EXPECT_FALSE(to_smiles(two).has_value());
+}
+
+TEST(SmilesParser, ParsesBondOrders) {
+  const Molecule ethene = from_smiles("C=C").value();
+  EXPECT_EQ(ethene.bond_between(0, 1), BondType::kDouble);
+  const Molecule ethyne = from_smiles("C#C").value();
+  EXPECT_EQ(ethyne.bond_between(0, 1), BondType::kTriple);
+  const Molecule cco = from_smiles("CCO").value();
+  EXPECT_EQ(cco.atom(2), Element::kO);
+}
+
+TEST(SmilesParser, ParsesBranches) {
+  // Isobutane: CC(C)C.
+  const Molecule m = from_smiles("CC(C)C").value();
+  EXPECT_EQ(m.num_atoms(), 4);
+  EXPECT_EQ(m.degree(1), 3);
+}
+
+TEST(SmilesParser, ParsesRings) {
+  const Molecule benzene = from_smiles("c1ccccc1").value();
+  EXPECT_EQ(benzene.num_atoms(), 6);
+  int aromatic_bonds = 0;
+  for (const Bond& b : benzene.bonds()) {
+    if (b.type == BondType::kAromatic) ++aromatic_bonds;
+  }
+  EXPECT_EQ(aromatic_bonds, 6);
+
+  const Molecule cyclohexane = from_smiles("C1CCCCC1").value();
+  EXPECT_EQ(cyclohexane.num_bonds(), 6);
+  for (const Bond& b : cyclohexane.bonds()) {
+    EXPECT_EQ(b.type, BondType::kSingle);
+  }
+}
+
+TEST(SmilesParser, PyridineAndToluene) {
+  const Molecule pyridine = from_smiles("c1ccncc1").value();
+  EXPECT_EQ(pyridine.num_atoms(), 6);
+  EXPECT_TRUE(pyridine.valences_ok());
+
+  const Molecule toluene = from_smiles("Cc1ccccc1").value();
+  EXPECT_EQ(toluene.num_atoms(), 7);
+  EXPECT_EQ(toluene.bond_between(0, 1), BondType::kSingle);
+}
+
+TEST(SmilesParser, ExplicitSingleBetweenAromaticAtoms) {
+  // Biphenyl: the '-' keeps the inter-ring bond single.
+  const Molecule m = from_smiles("c1ccccc1-c1ccccc1").value();
+  EXPECT_EQ(m.num_atoms(), 12);
+  int single_bonds = 0;
+  for (const Bond& b : m.bonds()) {
+    if (b.type == BondType::kSingle) ++single_bonds;
+  }
+  EXPECT_EQ(single_bonds, 1);
+}
+
+TEST(SmilesParser, RejectsMalformedInput) {
+  EXPECT_FALSE(from_smiles("").has_value());
+  EXPECT_FALSE(from_smiles("C(").has_value());        // unclosed branch
+  EXPECT_FALSE(from_smiles("C)C").has_value());       // unopened branch
+  EXPECT_FALSE(from_smiles("C1CC").has_value());      // unclosed ring
+  EXPECT_FALSE(from_smiles("C=").has_value());        // dangling bond
+  EXPECT_FALSE(from_smiles("C==C").has_value());      // double bond symbol
+  EXPECT_FALSE(from_smiles("CH4").has_value());       // H not in alphabet
+  EXPECT_FALSE(from_smiles("C.C").has_value());       // fragments rejected
+  EXPECT_FALSE(from_smiles("[NH4+]").has_value());    // brackets unsupported
+  EXPECT_FALSE(from_smiles("C$C").has_value());       // garbage
+  EXPECT_FALSE(from_smiles("O=C=O=C=O").has_value()); // overvalent chain
+}
+
+TEST(SmilesParser, RejectsValenceViolations) {
+  EXPECT_FALSE(from_smiles("F=C").has_value());   // F cannot double bond
+  EXPECT_FALSE(from_smiles("O#C").has_value());   // O cannot triple bond
+}
+
+TEST(SmilesRoundTrip, WriteParseWritePreservesCanonicalForm) {
+  const char* cases[] = {
+      "C",        "CC",     "CCO",     "C=C",       "C#N",
+      "CC(C)C",   "C1CCCCC1", "c1ccccc1", "Cc1ccccc1", "c1ccncc1",
+      "CC(=O)O",  "NCC(=O)O", "FC(F)F",  "CSC",       "O=S(=O)(C)C",
+  };
+  for (const char* s : cases) {
+    const auto mol = from_smiles(s);
+    ASSERT_TRUE(mol.has_value()) << s;
+    const auto canon1 = to_smiles(*mol);
+    ASSERT_TRUE(canon1.has_value()) << s;
+    const auto mol2 = from_smiles(*canon1);
+    ASSERT_TRUE(mol2.has_value()) << s << " -> " << *canon1;
+    const auto canon2 = to_smiles(*mol2);
+    ASSERT_TRUE(canon2.has_value());
+    EXPECT_EQ(*canon1, *canon2) << "input " << s;
+    EXPECT_EQ(mol->num_atoms(), mol2->num_atoms()) << s;
+  }
+}
+
+// Property: the canonical SMILES is invariant under relabeling of atoms.
+class CanonicalInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CanonicalInvariance, PermutedEncodingsGiveSameCanonicalSmiles) {
+  sqvae::Rng rng(GetParam());
+  const auto config = sqvae::data::qm9_config(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Molecule mol = sqvae::data::generate_molecule(config, rng);
+    if (mol.num_atoms() < 2) continue;
+    const auto original = to_smiles(mol);
+    ASSERT_TRUE(original.has_value());
+
+    // Random permutation of atom indices.
+    const auto perm =
+        rng.permutation(static_cast<std::size_t>(mol.num_atoms()));
+    Molecule shuffled;
+    std::vector<int> new_index(perm.size());
+    for (std::size_t new_pos = 0; new_pos < perm.size(); ++new_pos) {
+      new_index[perm[new_pos]] = static_cast<int>(new_pos);
+      shuffled.add_atom(mol.atom(static_cast<int>(perm[new_pos])));
+    }
+    for (const Bond& b : mol.bonds()) {
+      shuffled.set_bond(new_index[static_cast<std::size_t>(b.a)],
+                        new_index[static_cast<std::size_t>(b.b)], b.type);
+    }
+    const auto permuted = to_smiles(shuffled);
+    ASSERT_TRUE(permuted.has_value());
+    EXPECT_EQ(*original, *permuted)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalInvariance,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u));
+
+TEST(CanonicalRanks, ProducesPermutation) {
+  const Molecule m = from_smiles("Cc1ccccc1").value();
+  const std::vector<int> ranks = canonical_ranks(m);
+  std::set<int> unique(ranks.begin(), ranks.end());
+  EXPECT_EQ(unique.size(), ranks.size());
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), m.num_atoms() - 1);
+}
+
+}  // namespace
+}  // namespace sqvae::chem

@@ -1,0 +1,120 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/molecule_dataset.h"
+
+namespace sqvae::data {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/sqvae_io_test_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+  void write(const std::string& content) {
+    std::ofstream f(path_);
+    f << content;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(CsvIo, RoundTripIsExact) {
+  Rng rng(1);
+  Dataset ds{Matrix(7, 5)};
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    ds.samples[i] = rng.normal() * 1e3;  // exercise precision
+  }
+  TempFile file("roundtrip.csv");
+  ASSERT_TRUE(save_csv(ds, file.path()));
+  const auto loaded = load_csv(file.path());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 7u);
+  ASSERT_EQ(loaded->num_features(), 5u);
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    EXPECT_EQ(loaded->samples[i], ds.samples[i]) << i;
+  }
+}
+
+TEST(CsvIo, LoadsHandWrittenFile) {
+  TempFile file("hand.csv");
+  file.write("1,2,3\n4.5,-6,7e2\n\n0,0,0\n");
+  const auto loaded = load_csv(file.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 3u);  // blank line skipped
+  EXPECT_EQ(loaded->samples(1, 2), 700.0);
+}
+
+TEST(CsvIo, ReportsRaggedRows) {
+  TempFile file("ragged.csv");
+  file.write("1,2,3\n4,5\n");
+  CsvError error;
+  EXPECT_FALSE(load_csv(file.path(), &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("expected 3"), std::string::npos);
+}
+
+TEST(CsvIo, ReportsBadNumbers) {
+  TempFile file("bad.csv");
+  file.write("1,2\n3,abc\n");
+  CsvError error;
+  EXPECT_FALSE(load_csv(file.path(), &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+
+  TempFile trailing("trailing.csv");
+  trailing.write("1,2x\n");
+  EXPECT_FALSE(load_csv(trailing.path(), &error).has_value());
+}
+
+TEST(CsvIo, MissingAndEmptyFiles) {
+  CsvError error;
+  EXPECT_FALSE(load_csv("/nonexistent/nope.csv", &error).has_value());
+  EXPECT_EQ(error.line, 0u);
+
+  TempFile empty("empty.csv");
+  empty.write("");
+  EXPECT_FALSE(load_csv(empty.path(), &error).has_value());
+}
+
+TEST(SmilesIo, RoundTripMolecules) {
+  Rng rng(2);
+  const auto ds = make_qm9_like(12, 8, rng);
+  TempFile file("mols.smi");
+  const int written = save_smiles(ds.molecules, file.path());
+  EXPECT_EQ(written, 12);
+  const auto loaded = load_smiles(file.path());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 12u);
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    // Canonical SMILES equality = graph identity within our alphabet.
+    EXPECT_EQ(chem::to_smiles((*loaded)[i]), chem::to_smiles(ds.molecules[i]))
+        << i;
+  }
+}
+
+TEST(SmilesIo, SkipsCommentsAndBlankLines) {
+  TempFile file("comments.smi");
+  file.write("# header comment\nCCO\n\nc1ccccc1\n");
+  const auto loaded = load_smiles(file.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(SmilesIo, ReportsUnparseableLine) {
+  TempFile file("badsmiles.smi");
+  file.write("CCO\nnot_a_smiles!!\n");
+  CsvError error;
+  EXPECT_FALSE(load_smiles(file.path(), &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+}
+
+}  // namespace
+}  // namespace sqvae::data

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chem/sanitize.h"
+#include "data/cifar_gray.h"
+#include "data/dataset.h"
+#include "data/digits.h"
+#include "data/molecule_dataset.h"
+#include "data/molecule_gen.h"
+
+namespace sqvae::data {
+namespace {
+
+TEST(Dataset, GatherSelectsRows) {
+  Dataset ds{Matrix{{1, 2}, {3, 4}, {5, 6}}};
+  const Matrix g = ds.gather({2, 0});
+  EXPECT_EQ(g(0, 0), 5.0);
+  EXPECT_EQ(g(1, 1), 2.0);
+}
+
+TEST(Dataset, TrainTestSplitSizes) {
+  Rng rng(1);
+  Dataset ds{Matrix(100, 4)};
+  const TrainTestSplit split = train_test_split(ds, 0.15, rng);
+  EXPECT_EQ(split.test.size(), 15u);
+  EXPECT_EQ(split.train.size(), 85u);
+  EXPECT_EQ(split.train.num_features(), 4u);
+}
+
+TEST(Dataset, L1NormalizeRows) {
+  Dataset ds{Matrix{{1.0, -3.0}, {0.0, 0.0}, {2.0, 2.0}}};
+  const Dataset out = l1_normalize_rows(ds);
+  EXPECT_NEAR(out.samples(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(out.samples(0, 1), -0.75, 1e-12);
+  EXPECT_EQ(out.samples(1, 0), 0.0);  // zero row untouched
+  EXPECT_NEAR(out.samples(2, 0) + out.samples(2, 1), 1.0, 1e-12);
+}
+
+TEST(Dataset, BatchesCoverAllIndicesOnce) {
+  Rng rng(2);
+  const auto batches = make_batches(103, 32, rng);
+  EXPECT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches.back().size(), 103u % 32u);
+  std::set<std::size_t> seen;
+  for (const auto& b : batches) {
+    for (std::size_t i : b) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(Dataset, ScaleMultipliesFeatures) {
+  Dataset ds{Matrix{{2.0, 4.0}}};
+  const Dataset out = scale(ds, 0.5);
+  EXPECT_EQ(out.samples(0, 0), 1.0);
+  EXPECT_EQ(out.samples(0, 1), 2.0);
+}
+
+class MoleculeGenValidity
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>> {};
+
+TEST_P(MoleculeGenValidity, AllGeneratedMoleculesAreValid) {
+  const auto [pdbbind, seed] = GetParam();
+  Rng rng(seed);
+  const MoleculeGenConfig config =
+      pdbbind ? pdbbind_config(32) : qm9_config(8);
+  for (int i = 0; i < 40; ++i) {
+    const chem::Molecule m = generate_molecule(config, rng);
+    EXPECT_TRUE(chem::is_valid(m));
+    EXPECT_GE(m.num_atoms(), 1);
+    EXPECT_LE(m.num_atoms(), config.max_atoms);
+    // Element alphabet respected.
+    for (int a = 0; a < m.num_atoms(); ++a) {
+      const chem::Element e = m.atom(a);
+      if (!pdbbind) {
+        EXPECT_TRUE(e == chem::Element::kC || e == chem::Element::kN ||
+                    e == chem::Element::kO);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MoleculeGenValidity,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(MoleculeGen, PdbbindLigandsAreDrugSized) {
+  Rng rng(9);
+  const auto config = pdbbind_config(32);
+  double atom_sum = 0.0;
+  int ring_count = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    const chem::Molecule m = generate_molecule(config, rng);
+    atom_sum += m.num_atoms();
+    for (int a = 0; a < m.num_atoms(); ++a) {
+      if (m.is_aromatic_atom(a)) {
+        ++ring_count;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(atom_sum / n, 15.0);  // average ligand size
+  EXPECT_GT(ring_count, n / 3);   // most ligands carry an aromatic ring
+}
+
+TEST(MoleculeDataset, FeatureShapes) {
+  Rng rng(10);
+  const MoleculeDataset qm9 = make_qm9_like(20, 8, rng);
+  EXPECT_EQ(qm9.molecules.size(), 20u);
+  const Dataset f = qm9.features();
+  EXPECT_EQ(f.size(), 20u);
+  EXPECT_EQ(f.num_features(), 64u);
+
+  const MoleculeDataset pdb = make_pdbbind_like(10, 32, rng);
+  EXPECT_EQ(pdb.features().num_features(), 1024u);
+}
+
+TEST(MoleculeDataset, FeaturesAreSymmetricMatrices) {
+  Rng rng(11);
+  const MoleculeDataset ds = make_qm9_like(5, 8, rng);
+  const Dataset f = ds.features();
+  for (std::size_t r = 0; r < f.size(); ++r) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(f.samples(r, i * 8 + j), f.samples(r, j * 8 + i));
+      }
+    }
+  }
+}
+
+TEST(Digits, ShapeRangeAndLabels) {
+  Rng rng(12);
+  const DigitsDataset ds = make_digits(25, rng);
+  EXPECT_EQ(ds.features.size(), 25u);
+  EXPECT_EQ(ds.features.num_features(), 64u);
+  EXPECT_EQ(ds.labels.size(), 25u);
+  EXPECT_EQ(ds.labels[0], 0);
+  EXPECT_EQ(ds.labels[13], 3);
+  for (std::size_t i = 0; i < ds.features.samples.size(); ++i) {
+    EXPECT_GE(ds.features.samples[i], 0.0);
+    EXPECT_LE(ds.features.samples[i], 16.0);
+  }
+}
+
+TEST(Digits, TemplatesAreDistinct) {
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      const auto ta = digit_template(a);
+      const auto tb = digit_template(b);
+      double diff = 0.0;
+      for (std::size_t i = 0; i < ta.size(); ++i) {
+        diff += std::abs(ta[i] - tb[i]);
+      }
+      EXPECT_GT(diff, 10.0) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Digits, AsciiRenderShape) {
+  const std::string art = ascii_image(digit_template(3), 8, 16.0);
+  // 8 rows of 8 chars + newline each.
+  EXPECT_EQ(art.size(), 8u * 9u);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 8);
+}
+
+TEST(CifarGray, ShapeRangeAndVariety) {
+  Rng rng(13);
+  const CifarGrayDataset ds = make_cifar_gray(16, rng);
+  EXPECT_EQ(ds.features.size(), 16u);
+  EXPECT_EQ(ds.features.num_features(), 1024u);
+  for (std::size_t i = 0; i < ds.features.samples.size(); ++i) {
+    EXPECT_GE(ds.features.samples[i], 0.0);
+    EXPECT_LE(ds.features.samples[i], 1.0);
+  }
+  // Images of different classes differ substantially.
+  double diff = 0.0;
+  for (std::size_t c = 0; c < 1024; ++c) {
+    diff += std::abs(ds.features.samples(0, c) - ds.features.samples(1, c));
+  }
+  EXPECT_GT(diff, 10.0);
+}
+
+}  // namespace
+}  // namespace sqvae::data

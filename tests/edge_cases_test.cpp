@@ -1,0 +1,251 @@
+// Cross-module edge cases and smaller invariants that do not fit the
+// per-module suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/logp.h"
+#include "chem/molecule_matrix.h"
+#include "chem/qed.h"
+#include "chem/sa_score.h"
+#include "chem/sanitize.h"
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/molecule_gen.h"
+#include "models/baseline_quantum.h"
+#include "models/classical.h"
+#include "models/trainer.h"
+#include "qsim/adjoint.h"
+#include "qsim/circuit.h"
+#include "qsim/embedding.h"
+#include "qsim/observable.h"
+#include "qsim/paramshift.h"
+
+namespace sqvae {
+namespace {
+
+// ---------------------------------------------------------------- qsim --
+
+TEST(QsimEdge, SingleQubitCircuitEndToEnd) {
+  qsim::Circuit c(1);
+  c.strongly_entangling_layers(2, 0);  // no CNOTs on width 1
+  std::vector<double> params(6, 0.3);
+  const qsim::Statevector s = qsim::run_from_zero(c, params);
+  EXPECT_TRUE(s.is_normalized());
+  const auto adj = qsim::adjoint_gradient(c, params, qsim::Statevector(1),
+                                          qsim::z_diagonal(1, 0));
+  const auto fd = qsim::finite_difference_gradient(
+      c, params, qsim::Statevector(1), qsim::z_diagonal(1, 0));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_NEAR(adj.param_grads[i], fd[i], 1e-5) << i;
+  }
+}
+
+TEST(QsimEdge, ZeroLayerCircuitIsIdentity) {
+  qsim::Circuit c(3);
+  const int next = c.strongly_entangling_layers(0, 0);
+  EXPECT_EQ(next, 0);
+  EXPECT_EQ(c.num_ops(), 0u);
+  const qsim::Statevector s = qsim::run_from_zero(c, {});
+  EXPECT_NEAR(std::abs(s[0] - qsim::cplx{1.0, 0.0}), 0.0, 1e-15);
+}
+
+TEST(QsimEdge, AdjointWithConstantOnlyCircuitHasNoParamGrads) {
+  qsim::Circuit c(2);
+  c.h(0).cnot(0, 1).rz(1, qsim::Param::value(0.7));
+  const auto adj = qsim::adjoint_gradient(c, {}, qsim::Statevector(2),
+                                          qsim::z_diagonal(2, 1));
+  EXPECT_TRUE(adj.param_grads.empty());
+  EXPECT_NEAR(adj.value, 0.0, 1e-12);  // Bell state: <Z1> = 0
+}
+
+TEST(QsimEdge, AmplitudeEmbeddingOfNegativeValues) {
+  const qsim::Statevector s = qsim::amplitude_embedding({-1.0, 1.0}, 1);
+  EXPECT_TRUE(s.is_normalized());
+  EXPECT_NEAR(s[0].real(), -1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(QsimEdge, ExpectationBoundsUnderRandomCircuits) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    qsim::Circuit c(4);
+    c.strongly_entangling_layers(3, 0);
+    std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+    for (double& p : params) p = rng.uniform(-10, 10);  // out-of-range angles
+    const qsim::Statevector s = qsim::run_from_zero(c, params);
+    for (int q = 0; q < 4; ++q) {
+      const double e = s.expectation_z(q);
+      EXPECT_GE(e, -1.0 - 1e-12);
+      EXPECT_LE(e, 1.0 + 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- chem --
+
+TEST(ChemEdge, SingleAtomMolecules) {
+  for (chem::Element e : chem::kAllElements) {
+    chem::Molecule m;
+    m.add_atom(e);
+    EXPECT_TRUE(chem::is_valid(m));
+    const auto s = chem::to_smiles(m);
+    ASSERT_TRUE(s.has_value());
+    const auto back = chem::from_smiles(*s);
+    ASSERT_TRUE(back.has_value()) << *s;
+    EXPECT_EQ(back->atom(0), e);
+    EXPECT_GT(chem::qed(m), 0.0);
+    EXPECT_LE(chem::sa_score(m), 10.0);
+  }
+}
+
+TEST(ChemEdge, MatrixLargerThanMolecule) {
+  chem::Molecule m;
+  m.add_atom(chem::Element::kC);
+  const Matrix enc = chem::encode_molecule(m, 32);
+  EXPECT_EQ(enc.rows(), 32u);
+  EXPECT_EQ(enc(0, 0), 1.0);
+  EXPECT_EQ(enc(31, 31), 0.0);
+  const chem::Molecule back = chem::decode_molecule(enc);
+  EXPECT_EQ(back.num_atoms(), 1);
+}
+
+TEST(ChemEdge, DecodeAllZerosIsEmpty) {
+  const chem::Molecule m = chem::decode_molecule(Matrix(8, 8));
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(chem::is_valid(m));
+}
+
+TEST(ChemEdge, DecodeIgnoresBondsToMissingAtoms) {
+  Matrix enc(3, 3);
+  enc(0, 0) = 1.0;  // C
+  // (1,1) stays 0: no atom; bond entries touching row 1 must be ignored.
+  enc(0, 1) = 2.0;
+  enc(1, 0) = 2.0;
+  enc(2, 2) = 3.0;  // O
+  enc(0, 2) = 1.0;
+  enc(2, 0) = 1.0;
+  const chem::Molecule m = chem::decode_molecule(enc);
+  EXPECT_EQ(m.num_atoms(), 2);
+  EXPECT_EQ(m.num_bonds(), 1);
+  EXPECT_EQ(m.bond_between(0, 1), chem::BondType::kSingle);
+}
+
+TEST(ChemEdge, SanitizeIdempotent) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix noisy(8, 8);
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      noisy[i] = rng.uniform(-1, 6);
+    }
+    const chem::Molecule once = chem::sanitize(chem::decode_molecule(noisy));
+    const chem::Molecule twice = chem::sanitize(once);
+    EXPECT_EQ(once.num_atoms(), twice.num_atoms());
+    EXPECT_EQ(once.num_bonds(), twice.num_bonds());
+    EXPECT_EQ(chem::to_smiles(once), chem::to_smiles(twice));
+  }
+}
+
+TEST(ChemEdge, NormalizedPropertyClipping) {
+  // A long alkane's logP exceeds the normalisation max and must clip to 1.
+  chem::Molecule chain;
+  int prev = chain.add_atom(chem::Element::kC);
+  for (int i = 0; i < 39; ++i) {
+    const int next = chain.add_atom(chem::Element::kC);
+    chain.set_bond(prev, next, chem::BondType::kSingle);
+    prev = next;
+  }
+  EXPECT_EQ(chem::normalized_logp(chain), 1.0);
+}
+
+// ---------------------------------------------------------------- data --
+
+TEST(DataEdge, GeneratorRespectsMinAtoms) {
+  Rng rng(43);
+  data::MoleculeGenConfig config = data::pdbbind_config(32);
+  config.min_atoms = 20;
+  for (int i = 0; i < 20; ++i) {
+    const chem::Molecule m = data::generate_molecule(config, rng);
+    // Tree growth can stall early only when all atoms saturate, which the
+    // C-rich alphabet makes effectively impossible at this size.
+    EXPECT_GE(m.num_atoms(), 18);
+    EXPECT_LE(m.num_atoms(), 32);
+  }
+}
+
+TEST(DataEdge, SingleSampleDatasetSplits) {
+  Rng rng(44);
+  data::Dataset ds{Matrix(1, 4, 1.0)};
+  const auto split = data::train_test_split(ds, 0.15, rng);
+  EXPECT_EQ(split.train.size(), 1u);
+  EXPECT_EQ(split.test.size(), 0u);
+  const auto batches = data::make_batches(1, 32, rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 1u);
+}
+
+// -------------------------------------------------------------- models --
+
+TEST(ModelsEdge, BatchSizeOneTrains) {
+  Rng rng(45);
+  models::ClassicalAe model(models::classical_config_64(4), rng);
+  Matrix data(3, 64, 0.5);
+  models::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 1;
+  const auto history = models::Trainer(model, cfg).fit(data, nullptr, rng);
+  EXPECT_EQ(history.size(), 2u);
+  EXPECT_TRUE(std::isfinite(history.back().train_mse));
+}
+
+TEST(ModelsEdge, ReconstructionOfEmptyBatchRows) {
+  // All-zero inputs through the fully quantum model: the amplitude
+  // embedding maps them to |0...0>, probabilities concentrate at index 0.
+  Rng rng(46);
+  auto model = models::make_fbq_ae(16, 1, rng);
+  Matrix zeros(1, 16);
+  const Matrix recon = model->reconstruct(zeros, rng);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < recon.cols(); ++c) sum += recon(0, c);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ModelsEdge, KlWeightZeroMakesPureReconstructionLoss) {
+  Rng rng(47);
+  models::ClassicalVae model(models::classical_config_64(4), rng);
+  model.set_kl_weight(0.0);
+  ad::Tape tape;
+  models::LossStats stats;
+  Matrix batch(2, 64, 0.3);
+  model.build_loss(tape, batch, rng, &stats);
+  EXPECT_EQ(stats.total, stats.reconstruction_mse);
+}
+
+TEST(ModelsEdge, TrainerLrDecayReducesStepSizes) {
+  // With lr_decay << 1 the later epochs barely move parameters: total
+  // improvement should be dominated by epoch 1.
+  const auto run = [](double decay) {
+    Rng rng(48);
+    models::ClassicalAe model(models::classical_config_64(4), rng);
+    Matrix data(16, 64);
+    Rng drng(49);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = drng.uniform(0, 1);
+    }
+    models::TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.batch_size = 8;
+    cfg.classical_lr = 0.01;
+    cfg.lr_decay = decay;
+    Rng trng(50);
+    return models::Trainer(model, cfg).fit(data, nullptr, trng);
+  };
+  const auto fast = run(1.0);
+  const auto decayed = run(0.1);
+  // Identical first epoch (same seeds), then the decayed run stalls.
+  EXPECT_NEAR(fast.front().train_mse, decayed.front().train_mse, 1e-12);
+  EXPECT_LT(fast.back().train_mse, decayed.back().train_mse);
+}
+
+}  // namespace
+}  // namespace sqvae

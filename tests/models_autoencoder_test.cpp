@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/baseline_quantum.h"
+#include "models/classical.h"
+#include "models/scalable_quantum.h"
+
+namespace sqvae::models {
+namespace {
+
+Matrix random_batch(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                    double hi) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = rng.uniform(lo, hi);
+  return m;
+}
+
+TEST(ClassicalModels, AeShapesAndParamSplit) {
+  Rng rng(1);
+  ClassicalAe ae(classical_config_64(6), rng);
+  EXPECT_EQ(ae.input_dim(), 64u);
+  EXPECT_EQ(ae.latent_dim(), 6u);
+  EXPECT_FALSE(ae.is_generative());
+  EXPECT_EQ(ae.num_quantum_parameters(), 0u);
+  // Encoder 64-32-16-6 + decoder 6-16-32-64.
+  const std::size_t encoder = (64 * 32 + 32) + (32 * 16 + 16) + (16 * 6 + 6);
+  const std::size_t decoder = (6 * 16 + 16) + (16 * 32 + 32) + (32 * 64 + 64);
+  EXPECT_EQ(ae.num_classical_parameters(), encoder + decoder);
+
+  const Matrix batch = random_batch(4, 64, rng, 0, 1);
+  const Matrix recon = ae.reconstruct(batch, rng);
+  EXPECT_EQ(recon.rows(), 4u);
+  EXPECT_EQ(recon.cols(), 64u);
+}
+
+TEST(ClassicalModels, VaeEmitsLatentStatsAndSamples) {
+  Rng rng(2);
+  ClassicalVae vae(classical_config_64(6), rng);
+  EXPECT_TRUE(vae.is_generative());
+
+  ad::Tape tape;
+  const Matrix batch = random_batch(3, 64, rng, 0, 1);
+  ForwardResult fwd = vae.forward(tape, tape.constant(batch), rng);
+  ASSERT_TRUE(fwd.mu.has_value());
+  ASSERT_TRUE(fwd.logvar.has_value());
+  EXPECT_EQ(tape.value(*fwd.mu).cols(), 6u);
+
+  const Matrix samples = vae.sample(7, rng);
+  EXPECT_EQ(samples.rows(), 7u);
+  EXPECT_EQ(samples.cols(), 64u);
+}
+
+TEST(ClassicalModels, VaeHasMorePametersThanAe) {
+  Rng rng(3);
+  ClassicalAe ae(classical_config_64(6), rng);
+  ClassicalVae vae(classical_config_64(6), rng);
+  // The VAE replaces one 16->6 head with two: +102 parameters.
+  EXPECT_EQ(vae.num_classical_parameters(),
+            ae.num_classical_parameters() + (16 * 6 + 6));
+}
+
+TEST(BaselineQuantum, TableOneParameterCounts) {
+  // Table I: quantum parameter count 108 for all baseline quantum models
+  // (two 6-qubit circuits with 3 entangling layers: 2 * 54).
+  Rng rng(4);
+  auto fbq_ae = make_fbq_ae(64, 3, rng);
+  EXPECT_EQ(fbq_ae->num_quantum_parameters(), 108u);
+  EXPECT_EQ(fbq_ae->num_classical_parameters(), 0u);  // fully quantum
+
+  auto fbq_vae = make_fbq_vae(64, 3, rng);
+  EXPECT_EQ(fbq_vae->num_quantum_parameters(), 108u);
+  // mu/logvar heads: 2 * (6*6 + 6) = 84 (Table I classical count).
+  EXPECT_EQ(fbq_vae->num_classical_parameters(), 84u);
+
+  auto hbq_ae = make_hbq_ae(64, 3, rng);
+  // latent FC 6->6 (42) + output FC 64->64 (4160) = 4202.
+  EXPECT_EQ(hbq_ae->num_classical_parameters(), 4202u);
+
+  auto hbq_vae = make_hbq_vae(64, 3, rng);
+  // 4202 + 84 = 4286.
+  EXPECT_EQ(hbq_vae->num_classical_parameters(), 4286u);
+}
+
+TEST(BaselineQuantum, LatentDimIsLogOfInput) {
+  Rng rng(5);
+  auto m64 = make_fbq_ae(64, 3, rng);
+  EXPECT_EQ(m64->latent_dim(), 6u);
+  auto m1024 = make_fbq_ae(1024, 3, rng);
+  EXPECT_EQ(m1024->latent_dim(), 10u);
+}
+
+TEST(BaselineQuantum, FullyQuantumReconstructionIsProbabilityVector) {
+  Rng rng(6);
+  auto model = make_fbq_ae(16, 2, rng);
+  const Matrix batch = random_batch(3, 16, rng, 0, 1);
+  const Matrix recon = model->reconstruct(batch, rng);
+  EXPECT_EQ(recon.cols(), 16u);
+  for (std::size_t r = 0; r < recon.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < recon.cols(); ++c) {
+      EXPECT_GE(recon(r, c), 0.0);
+      sum += recon(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(BaselineQuantum, HybridReconstructionEscapesSimplex) {
+  // The output FC can produce values outside [0,1] — the point of H-BQ.
+  Rng rng(7);
+  auto model = make_hbq_ae(16, 2, rng);
+  const Matrix batch = random_batch(2, 16, rng, 0, 5);
+  const Matrix recon = model->reconstruct(batch, rng);
+  EXPECT_EQ(recon.cols(), 16u);
+}
+
+TEST(BaselineQuantum, VaeSamplesHaveInputShape) {
+  Rng rng(8);
+  auto model = make_fbq_vae(16, 2, rng);
+  const Matrix samples = model->sample(5, rng);
+  EXPECT_EQ(samples.rows(), 5u);
+  EXPECT_EQ(samples.cols(), 16u);
+}
+
+TEST(ScalableQuantum, LsdMatchesPaperTable) {
+  // p patches on 1024 features: LSD = p * log2(1024/p).
+  EXPECT_EQ(patches_for_lsd_1024(18), 2);
+  EXPECT_EQ(patches_for_lsd_1024(32), 4);
+  EXPECT_EQ(patches_for_lsd_1024(56), 8);
+  EXPECT_EQ(patches_for_lsd_1024(96), 16);
+
+  for (const auto& [patches, lsd] :
+       std::vector<std::pair<int, std::size_t>>{
+           {2, 18}, {4, 32}, {8, 56}, {16, 96}}) {
+    ScalableQuantumConfig c;
+    c.input_dim = 1024;
+    c.patches = patches;
+    EXPECT_EQ(c.latent_dim(), lsd) << patches;
+  }
+}
+
+TEST(ScalableQuantum, QuantumParameterCount) {
+  // p encoder + p decoder circuits, each 3*q*L parameters.
+  Rng rng(9);
+  ScalableQuantumConfig c;
+  c.input_dim = 256;
+  c.patches = 4;  // q = log2(64) = 6
+  c.entangling_layers = 5;
+  auto model = make_sq_ae(c, rng);
+  EXPECT_EQ(model->num_quantum_parameters(), 2u * 4u * (3u * 6u * 5u));
+  EXPECT_EQ(model->latent_dim(), 24u);
+}
+
+TEST(ScalableQuantum, ForwardAndDecodeShapes) {
+  Rng rng(10);
+  ScalableQuantumConfig c;
+  c.input_dim = 64;
+  c.patches = 2;  // q = 5, LSD = 10
+  c.entangling_layers = 2;
+  auto model = make_sq_ae(c, rng);
+  EXPECT_EQ(model->latent_dim(), 10u);
+
+  const Matrix batch = random_batch(3, 64, rng, 0, 4);
+  const Matrix recon = model->reconstruct(batch, rng);
+  EXPECT_EQ(recon.rows(), 3u);
+  EXPECT_EQ(recon.cols(), 64u);
+}
+
+TEST(ScalableQuantum, VaeSamplesAndKl) {
+  Rng rng(11);
+  ScalableQuantumConfig c;
+  c.input_dim = 64;
+  c.patches = 2;
+  c.entangling_layers = 1;
+  auto model = make_sq_vae(c, rng);
+  EXPECT_TRUE(model->is_generative());
+  const Matrix samples = model->sample(4, rng);
+  EXPECT_EQ(samples.rows(), 4u);
+  EXPECT_EQ(samples.cols(), 64u);
+
+  ad::Tape tape;
+  LossStats stats;
+  const Matrix batch = random_batch(2, 64, rng, 0, 4);
+  model->build_loss(tape, batch, rng, &stats);
+  EXPECT_GT(stats.total, 0.0);
+  EXPECT_GE(stats.kl, 0.0);
+  EXPECT_NEAR(stats.total, stats.reconstruction_mse + 0.01 * stats.kl, 1e-9);
+}
+
+TEST(Autoencoder, ParamGroupsSplitQuantumAndClassical) {
+  Rng rng(12);
+  ScalableQuantumConfig c;
+  c.input_dim = 64;
+  c.patches = 2;
+  c.entangling_layers = 1;
+  auto model = make_sq_ae(c, rng);
+  const auto groups = model->param_groups(0.03, 0.01);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].lr, 0.03);  // quantum first
+  EXPECT_EQ(groups[1].lr, 0.01);
+
+  ClassicalAe cae(classical_config_64(6), rng);
+  const auto cgroups = cae.param_groups(0.03, 0.01);
+  ASSERT_EQ(cgroups.size(), 1u);  // no quantum group
+  EXPECT_EQ(cgroups[0].lr, 0.01);
+}
+
+}  // namespace
+}  // namespace sqvae::models

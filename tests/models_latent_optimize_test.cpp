@@ -1,0 +1,121 @@
+#include "models/latent_optimize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "models/classical.h"
+
+namespace sqvae::models {
+namespace {
+
+TEST(LatentOptimize, MaximizesSmoothObjective) {
+  // Objective depends smoothly on the decoded features; the ES loop must
+  // improve it well beyond the first generation's incumbent.
+  Rng rng(1);
+  ClassicalVae model(classical_config_64(6), rng);
+  const LatentObjective objective = [](const std::vector<double>& f) {
+    // Peak when feature 0 is large and feature 1 is near 0.5.
+    return f[0] - (f[1] - 0.5) * (f[1] - 0.5);
+  };
+  LatentOptimizeConfig config;
+  config.population = 24;
+  config.elites = 6;
+  config.generations = 25;
+  const LatentOptimizeResult result =
+      optimize_latent(model, objective, config, rng);
+  EXPECT_GT(result.best_score, result.history.front());
+  EXPECT_EQ(result.best_latent.size(), 6u);
+  EXPECT_EQ(result.best_features.size(), 64u);
+}
+
+TEST(LatentOptimize, HistoryIsMonotoneAndSized) {
+  Rng rng(2);
+  ClassicalVae model(classical_config_64(4), rng);
+  const LatentObjective objective = [](const std::vector<double>& f) {
+    return -std::abs(f[3]);
+  };
+  LatentOptimizeConfig config;
+  config.population = 8;
+  config.elites = 2;
+  config.generations = 10;
+  const LatentOptimizeResult result =
+      optimize_latent(model, objective, config, rng);
+  ASSERT_EQ(result.history.size(), 10u);
+  for (std::size_t g = 1; g < result.history.size(); ++g) {
+    EXPECT_GE(result.history[g], result.history[g - 1]);
+  }
+  EXPECT_EQ(result.history.back(), result.best_score);
+}
+
+TEST(LatentOptimize, DeterministicGivenSeed) {
+  const auto run = [] {
+    Rng rng(3);
+    ClassicalVae model(classical_config_64(4), rng);
+    LatentOptimizeConfig config;
+    config.population = 8;
+    config.elites = 2;
+    config.generations = 5;
+    Rng opt_rng(55);
+    return optimize_latent(
+        model, [](const std::vector<double>& f) { return f[0] + f[7]; },
+        config, opt_rng);
+  };
+  const LatentOptimizeResult a = run();
+  const LatentOptimizeResult b = run();
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.best_latent, b.best_latent);
+}
+
+TEST(LatentOptimize, SeededSearchStaysNearLead) {
+  // With a tight sigma and a seed, the first generation must sample near
+  // the seed (the decoded best should reflect the seeded region).
+  Rng rng(4);
+  ClassicalVae model(classical_config_64(3), rng);
+  std::vector<double> seed = {2.0, -1.0, 0.5};
+  LatentOptimizeConfig config;
+  config.population = 8;
+  config.elites = 2;
+  config.generations = 1;
+  config.initial_sigma = 0.01;
+  config.sigma_floor = 0.01;
+  config.initial_mu = seed;
+  const LatentOptimizeResult result = optimize_latent(
+      model, [](const std::vector<double>&) { return 1.0; }, config, rng);
+  for (std::size_t c = 0; c < seed.size(); ++c) {
+    EXPECT_NEAR(result.best_latent[c], seed[c], 0.1) << c;
+  }
+}
+
+TEST(LatentOptimize, SigmaFloorKeepsExploring) {
+  // Even when all elites are identical (constant objective picks the first
+  // rows), sigma never collapses below the floor, so later generations
+  // still vary. Verified indirectly: best_latent over two long runs with
+  // different rng seeds differ.
+  Rng rng_a(5), rng_b(6);
+  ClassicalVae model_a(classical_config_64(3), rng_a);
+  LatentOptimizeConfig config;
+  config.population = 6;
+  config.elites = 3;
+  config.generations = 8;
+  config.sigma_floor = 0.5;
+  Rng opt_a(10), opt_b(20);
+  const auto r1 = optimize_latent(
+      model_a, [](const std::vector<double>& f) { return f[0]; }, config,
+      opt_a);
+  const auto r2 = optimize_latent(
+      model_a, [](const std::vector<double>& f) { return f[0]; }, config,
+      opt_b);
+  EXPECT_NE(r1.best_latent, r2.best_latent);
+}
+
+TEST(LatentOptimize, QedObjectiveOnEmptyFeatures) {
+  // All-zero features decode to an empty molecule: objective must be 0,
+  // not a crash.
+  const LatentObjective objective = qed_objective(8);
+  EXPECT_EQ(objective(std::vector<double>(64, 0.0)), 0.0);
+}
+
+}  // namespace
+}  // namespace sqvae::models

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/molecule_dataset.h"
+#include "models/checkpoint.h"
+#include "models/classical.h"
+#include "models/metrics.h"
+#include "models/scalable_quantum.h"
+
+namespace sqvae::models {
+namespace {
+
+TEST(ExtendedMetrics, TrainingSetAgainstItselfHasZeroNovelty) {
+  Rng rng(1);
+  const auto ds = data::make_pdbbind_like(25, 32, rng);
+  const ExtendedMetrics m =
+      evaluate_extended_molecules(ds.molecules, ds.molecules);
+  EXPECT_EQ(m.valid, 25u);
+  EXPECT_EQ(m.novelty, 0.0);  // every molecule is in the reference set
+  EXPECT_NEAR(m.mean_distance_to_train, 0.0, 1e-12);
+  EXPECT_GT(m.internal_diversity, 0.0);
+  EXPECT_GT(m.scaffold_diversity, 0.0);
+}
+
+TEST(ExtendedMetrics, DisjointSetsAreFullyNovel) {
+  Rng rng_a(2), rng_b(99);
+  const auto set_a = data::make_qm9_like(15, 8, rng_a);
+  const auto set_b = data::make_pdbbind_like(15, 32, rng_b);
+  // PDBbind-sized molecules (12+ atoms) cannot collide with QM9-sized ones.
+  const ExtendedMetrics m =
+      evaluate_extended_molecules(set_b.molecules, set_a.molecules);
+  EXPECT_EQ(m.novelty, 1.0);
+  EXPECT_GT(m.mean_distance_to_train, 0.0);
+}
+
+TEST(ExtendedMetrics, FeatureDecodingPath) {
+  Rng rng(3);
+  const auto train = data::make_pdbbind_like(20, 32, rng);
+  const Matrix samples = train.features().samples;
+  const ExtendedMetrics m = evaluate_extended(samples, 32, train.molecules);
+  EXPECT_EQ(m.requested, 20u);
+  EXPECT_EQ(m.valid, 20u);  // dataset features decode back to themselves
+  EXPECT_EQ(m.novelty, 0.0);
+  EXPECT_GE(m.lipinski_pass_rate, 0.5);  // generator makes drug-sized mols
+}
+
+TEST(ExtendedMetrics, EmptyInputs) {
+  const ExtendedMetrics m = evaluate_extended_molecules({}, {});
+  EXPECT_EQ(m.requested, 0u);
+  EXPECT_EQ(m.valid, 0u);
+  EXPECT_EQ(m.novelty, 0.0);
+}
+
+TEST(Checkpoint, RoundTripIsExact) {
+  Rng rng(4);
+  ScalableQuantumConfig c;
+  c.input_dim = 64;
+  c.patches = 2;
+  c.entangling_layers = 2;
+  auto model = make_sq_vae(c, rng);
+  const std::string text = checkpoint_to_text(*model);
+
+  // Perturb every parameter, then restore.
+  for (ad::Parameter* p : model->quantum_parameters()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) p->value[i] += 0.5;
+  }
+  for (ad::Parameter* p : model->classical_parameters()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) p->value[i] -= 0.25;
+  }
+  ASSERT_TRUE(checkpoint_from_text(text, *model));
+  EXPECT_EQ(checkpoint_to_text(*model), text);  // bit-exact round trip
+}
+
+TEST(Checkpoint, RestoredModelReproducesOutputs) {
+  Rng rng(5);
+  ClassicalAe model(classical_config_64(6), rng);
+  Matrix batch(2, 64);
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i] = rng.uniform(0, 1);
+  const Matrix before = model.reconstruct(batch, rng);
+  const std::string text = checkpoint_to_text(model);
+
+  Rng rng2(777);  // differently initialised twin
+  ClassicalAe twin(classical_config_64(6), rng2);
+  ASSERT_TRUE(checkpoint_from_text(text, twin));
+  const Matrix after = twin.reconstruct(batch, rng2);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << i;
+  }
+}
+
+TEST(Checkpoint, RejectsMismatchedModel) {
+  Rng rng(6);
+  ClassicalAe small(classical_config_64(4), rng);
+  ClassicalAe big(classical_config_64(8), rng);
+  const std::string text = checkpoint_to_text(small);
+  const std::string big_before = checkpoint_to_text(big);
+  EXPECT_FALSE(checkpoint_from_text(text, big));
+  // Failed load must leave the target untouched.
+  EXPECT_EQ(checkpoint_to_text(big), big_before);
+}
+
+TEST(Checkpoint, RejectsCorruptText) {
+  Rng rng(7);
+  ClassicalAe model(classical_config_64(4), rng);
+  EXPECT_FALSE(checkpoint_from_text("", model));
+  EXPECT_FALSE(checkpoint_from_text("bogus 1\n3\n", model));
+  EXPECT_FALSE(checkpoint_from_text("sqvae-checkpoint 2\n", model));
+  std::string truncated = checkpoint_to_text(model);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(checkpoint_from_text(truncated, model));
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Rng rng(8);
+  ScalableQuantumConfig c;
+  c.input_dim = 64;
+  c.patches = 2;
+  c.entangling_layers = 1;
+  auto model = make_sq_ae(c, rng);
+  const std::string path = "/tmp/sqvae_checkpoint_test.txt";
+  ASSERT_TRUE(save_checkpoint(*model, path));
+  const std::string text = checkpoint_to_text(*model);
+  for (ad::Parameter* p : model->quantum_parameters()) {
+    p->value *= 0.0;
+  }
+  ASSERT_TRUE(load_checkpoint(path, *model));
+  EXPECT_EQ(checkpoint_to_text(*model), text);
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_checkpoint("/nonexistent/path.txt", *model));
+}
+
+}  // namespace
+}  // namespace sqvae::models

@@ -1,0 +1,232 @@
+#include "models/quantum_layer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+
+namespace sqvae::models {
+namespace {
+
+using ad::Parameter;
+using ad::Tape;
+using ad::Var;
+
+QuantumLayerConfig angle_config(int qubits, int layers) {
+  QuantumLayerConfig c;
+  c.num_qubits = qubits;
+  c.entangling_layers = layers;
+  c.input = QuantumLayerConfig::InputMode::kAngle;
+  c.output = QuantumLayerConfig::OutputMode::kExpectationZ;
+  c.input_dim = qubits;
+  return c;
+}
+
+QuantumLayerConfig amplitude_config(int qubits, int layers, int input_dim,
+                                    bool probs = false) {
+  QuantumLayerConfig c;
+  c.num_qubits = qubits;
+  c.entangling_layers = layers;
+  c.input = QuantumLayerConfig::InputMode::kAmplitude;
+  c.output = probs ? QuantumLayerConfig::OutputMode::kProbabilities
+                   : QuantumLayerConfig::OutputMode::kExpectationZ;
+  c.input_dim = input_dim;
+  return c;
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng, double lo,
+                     double hi) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = rng.uniform(lo, hi);
+  return m;
+}
+
+TEST(QuantumLayer, OutputShapes) {
+  Rng rng(1);
+  QuantumLayer expectation_layer(angle_config(4, 2), rng);
+  EXPECT_EQ(expectation_layer.output_dim(), 4);
+  EXPECT_EQ(expectation_layer.num_parameters(), 4u * 2u * 3u);
+
+  QuantumLayer prob_layer(amplitude_config(3, 1, 8, /*probs=*/true), rng);
+  EXPECT_EQ(prob_layer.output_dim(), 8);
+
+  Tape tape;
+  Var x = tape.constant(random_matrix(5, 4, rng, -1, 1));
+  Var y = expectation_layer.forward(tape, x);
+  EXPECT_EQ(tape.value(y).rows(), 5u);
+  EXPECT_EQ(tape.value(y).cols(), 4u);
+}
+
+TEST(QuantumLayer, ExpectationsInPhysicalRange) {
+  Rng rng(2);
+  QuantumLayer layer(angle_config(3, 3), rng);
+  const Matrix x = random_matrix(8, 3, rng, -3, 3);
+  const Matrix y = layer.forward_values(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_GE(y[i], -1.0);
+    EXPECT_LE(y[i], 1.0);
+  }
+}
+
+TEST(QuantumLayer, ProbabilitiesSumToOne) {
+  Rng rng(3);
+  QuantumLayer layer(amplitude_config(4, 2, 16, /*probs=*/true), rng);
+  const Matrix x = random_matrix(6, 16, rng, 0, 5);
+  const Matrix y = layer.forward_values(x);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) sum += y(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(QuantumLayer, RowsAreIndependent) {
+  // A batch forward must equal per-row forwards (no cross-sample state).
+  Rng rng(4);
+  QuantumLayer layer(angle_config(3, 2), rng);
+  const Matrix batch = random_matrix(4, 3, rng, -2, 2);
+  const Matrix batched = layer.forward_values(batch);
+  for (std::size_t r = 0; r < 4; ++r) {
+    Matrix single(1, 3);
+    for (std::size_t c = 0; c < 3; ++c) single(0, c) = batch(r, c);
+    const Matrix one = layer.forward_values(single);
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(one(0, c), batched(r, c), 1e-14);
+    }
+  }
+}
+
+/// FD check of d(loss)/d(p) for every element of a parameter through a
+/// quantum layer graph.
+void check_fd(Parameter& p, const std::function<double()>& eval,
+              const Matrix& analytic, double tol = 2e-5) {
+  const double eps = 1e-5;
+  for (std::size_t i = 0; i < p.value.size(); ++i) {
+    const double saved = p.value[i];
+    p.value[i] = saved + eps;
+    const double plus = eval();
+    p.value[i] = saved - eps;
+    const double minus = eval();
+    p.value[i] = saved;
+    EXPECT_NEAR(analytic[i], (plus - minus) / (2 * eps), tol)
+        << "element " << i;
+  }
+}
+
+class QuantumLayerGradients : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantumLayerGradients, AngleModeWeightsAndInputsMatchFd) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const int qubits = GetParam();
+  QuantumLayer layer(angle_config(qubits, 2), rng);
+  Parameter input(random_matrix(2, static_cast<std::size_t>(qubits), rng,
+                                -1.5, 1.5));
+  const Matrix target(2, static_cast<std::size_t>(qubits), 0.3);
+
+  auto build = [&](ad::Tape& t) {
+    return t.mse_loss(layer.forward(t, t.leaf(&input)), target);
+  };
+  auto eval = [&]() {
+    Tape t;
+    return t.value(build(t))(0, 0);
+  };
+
+  Tape tape;
+  Var loss = build(tape);
+  input.zero_grad();
+  layer.weights().zero_grad();
+  tape.backward(loss);
+
+  check_fd(input, eval, input.grad);
+  check_fd(layer.weights(), eval, layer.weights().grad);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantumLayerGradients,
+                         ::testing::Values(2, 3, 4));
+
+TEST(QuantumLayerGradients, AmplitudeModeExpectationMatchesFd) {
+  Rng rng(200);
+  QuantumLayer layer(amplitude_config(3, 2, 8), rng);
+  Parameter input(random_matrix(2, 8, rng, 0.2, 2.0));
+  const Matrix target(2, 3, -0.1);
+
+  auto build = [&](Tape& t) {
+    return t.mse_loss(layer.forward(t, t.leaf(&input)), target);
+  };
+  auto eval = [&]() {
+    Tape t;
+    return t.value(build(t))(0, 0);
+  };
+  Tape tape;
+  Var loss = build(tape);
+  input.zero_grad();
+  layer.weights().zero_grad();
+  tape.backward(loss);
+  check_fd(input, eval, input.grad);
+  check_fd(layer.weights(), eval, layer.weights().grad);
+}
+
+TEST(QuantumLayerGradients, AmplitudeModeProbabilitiesMatchesFd) {
+  Rng rng(201);
+  QuantumLayer layer(amplitude_config(2, 2, 4, /*probs=*/true), rng);
+  Parameter input(random_matrix(1, 4, rng, 0.3, 2.0));
+  const Matrix target(1, 4, 0.25);
+
+  auto build = [&](Tape& t) {
+    return t.mse_loss(layer.forward(t, t.leaf(&input)), target);
+  };
+  auto eval = [&]() {
+    Tape t;
+    return t.value(build(t))(0, 0);
+  };
+  Tape tape;
+  Var loss = build(tape);
+  input.zero_grad();
+  layer.weights().zero_grad();
+  tape.backward(loss);
+  check_fd(input, eval, input.grad);
+  check_fd(layer.weights(), eval, layer.weights().grad);
+}
+
+TEST(QuantumLayerGradients, AngleModeProbabilitiesDecoderPath) {
+  // The F-BQ decoder configuration: angle in, probabilities out.
+  Rng rng(202);
+  QuantumLayerConfig c;
+  c.num_qubits = 3;
+  c.entangling_layers = 2;
+  c.input = QuantumLayerConfig::InputMode::kAngle;
+  c.output = QuantumLayerConfig::OutputMode::kProbabilities;
+  c.input_dim = 3;
+  QuantumLayer layer(c, rng);
+  Parameter input(random_matrix(2, 3, rng, -1, 1));
+  const Matrix target(2, 8, 0.125);
+
+  auto build = [&](Tape& t) {
+    return t.mse_loss(layer.forward(t, t.leaf(&input)), target);
+  };
+  auto eval = [&]() {
+    Tape t;
+    return t.value(build(t))(0, 0);
+  };
+  Tape tape;
+  Var loss = build(tape);
+  input.zero_grad();
+  layer.weights().zero_grad();
+  tape.backward(loss);
+  check_fd(input, eval, input.grad);
+  check_fd(layer.weights(), eval, layer.weights().grad);
+}
+
+TEST(QuantumLayer, WeightsInitializedInPiRange) {
+  Rng rng(5);
+  QuantumLayer layer(angle_config(5, 4), rng);
+  for (std::size_t i = 0; i < layer.weights().value.size(); ++i) {
+    EXPECT_GE(layer.weights().value[i], -M_PI);
+    EXPECT_LE(layer.weights().value[i], M_PI);
+  }
+}
+
+}  // namespace
+}  // namespace sqvae::models

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/optim.h"
+
+namespace sqvae::nn {
+namespace {
+
+TEST(Linear, ShapesAndParameterCount) {
+  Rng rng(1);
+  Linear layer(8, 3, rng);
+  EXPECT_EQ(layer.in_features(), 8u);
+  EXPECT_EQ(layer.out_features(), 3u);
+  EXPECT_EQ(layer.num_parameters(), 8u * 3u + 3u);
+
+  Tape tape;
+  Var x = tape.constant(Matrix(5, 8, 0.1));
+  Var y = layer.forward(tape, x);
+  EXPECT_EQ(tape.value(y).rows(), 5u);
+  EXPECT_EQ(tape.value(y).cols(), 3u);
+}
+
+TEST(Linear, XavierInitIsBounded) {
+  Rng rng(2);
+  Linear layer(100, 50, rng);
+  const double bound = std::sqrt(6.0 / 150.0);
+  for (std::size_t i = 0; i < layer.weight.value.size(); ++i) {
+    EXPECT_LE(std::abs(layer.weight.value[i]), bound);
+  }
+  for (std::size_t i = 0; i < layer.bias.value.size(); ++i) {
+    EXPECT_EQ(layer.bias.value[i], 0.0);
+  }
+}
+
+TEST(Mlp, ParameterCountMatchesPaperClassicalEncoder) {
+  // Paper Section III-B: encoder 64 -> 32 -> 16 -> 6 with ReLU.
+  Rng rng(3);
+  Mlp encoder({64, 32, 16, 6}, Activation::kReLU, rng);
+  EXPECT_EQ(encoder.num_parameters(),
+            (64u * 32 + 32) + (32u * 16 + 16) + (16u * 6 + 6));
+}
+
+TEST(Mlp, ForwardShape) {
+  Rng rng(4);
+  Mlp mlp({10, 7, 4}, Activation::kTanh, rng);
+  Tape tape;
+  Var y = mlp.forward(tape, tape.constant(Matrix(3, 10, 0.5)));
+  EXPECT_EQ(tape.value(y).rows(), 3u);
+  EXPECT_EQ(tape.value(y).cols(), 4u);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(w) = mean((w - target)^2) via mse_loss.
+  Parameter w(Matrix(1, 4, 0.0));
+  Matrix target{{1.0, -2.0, 0.5, 3.0}};
+  Adam opt({ParamGroup{{&w}, 0.05}});
+  for (int step = 0; step < 500; ++step) {
+    Tape tape;
+    Var loss = tape.mse_loss(tape.leaf(&w), target);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.value[i], target[i], 1e-3) << i;
+  }
+}
+
+TEST(Adam, FirstStepHasUnitScaleRegardlessOfGradientMagnitude) {
+  // Adam's bias-corrected first step is lr * sign(grad) (for eps -> 0).
+  Parameter big(Matrix(1, 1, 0.0));
+  Parameter small(Matrix(1, 1, 0.0));
+  Adam opt({ParamGroup{{&big, &small}, 0.1}});
+  big.grad(0, 0) = 1000.0;
+  small.grad(0, 0) = 1e-4;
+  opt.step();
+  EXPECT_NEAR(big.value(0, 0), -0.1, 1e-6);
+  EXPECT_NEAR(small.value(0, 0), -0.1, 1e-3);
+}
+
+TEST(Adam, PerGroupLearningRatesDiffer) {
+  Parameter fast(Matrix(1, 1, 0.0));
+  Parameter slow(Matrix(1, 1, 0.0));
+  Adam opt({ParamGroup{{&fast}, 0.1}, ParamGroup{{&slow}, 0.001}});
+  EXPECT_EQ(opt.num_groups(), 2u);
+  fast.grad(0, 0) = 1.0;
+  slow.grad(0, 0) = 1.0;
+  opt.step();
+  // First Adam step moves by ~lr in the gradient direction.
+  EXPECT_NEAR(fast.value(0, 0), -0.1, 1e-6);
+  EXPECT_NEAR(slow.value(0, 0), -0.001, 1e-8);
+}
+
+TEST(Adam, SetLrTakesEffect) {
+  Parameter w(Matrix(1, 1, 0.0));
+  Adam opt({ParamGroup{{&w}, 0.1}});
+  opt.set_lr(0, 0.5);
+  EXPECT_EQ(opt.lr(0), 0.5);
+  w.grad(0, 0) = 1.0;
+  opt.step();
+  EXPECT_NEAR(w.value(0, 0), -0.5, 1e-6);
+}
+
+TEST(Adam, CountsParameters) {
+  Parameter a(Matrix(2, 3));
+  Parameter b(Matrix(1, 5));
+  Adam opt({ParamGroup{{&a}, 0.1}, ParamGroup{{&b}, 0.1}});
+  EXPECT_EQ(opt.num_parameters(), 11u);
+}
+
+TEST(Sgd, StepIsLrTimesGrad) {
+  Parameter w(Matrix(1, 2, 1.0));
+  Sgd opt({ParamGroup{{&w}, 0.5}});
+  w.grad(0, 0) = 2.0;
+  w.grad(0, 1) = -4.0;
+  opt.step();
+  EXPECT_NEAR(w.value(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(w.value(0, 1), 3.0, 1e-12);
+}
+
+TEST(Training, MlpLearnsLinearMap) {
+  // Fit y = x * W_true with a 1-hidden-layer MLP; loss must drop sharply.
+  Rng rng(7);
+  Mlp mlp({3, 8, 2}, Activation::kTanh, rng);
+  Matrix w_true{{1.0, -1.0}, {0.5, 2.0}, {-1.5, 0.3}};
+  Matrix x(32, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform(-1, 1);
+  Matrix y = x.matmul(w_true);
+
+  Adam opt({ParamGroup{mlp.parameters(), 0.01}});
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    Tape tape;
+    Var loss = tape.mse_loss(mlp.forward(tape, tape.constant(x)), y);
+    if (step == 0) first_loss = tape.value(loss)(0, 0);
+    last_loss = tape.value(loss)(0, 0);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.05);
+}
+
+}  // namespace
+}  // namespace sqvae::nn

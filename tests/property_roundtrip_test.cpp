@@ -1,0 +1,122 @@
+// Property-based round-trip suites over the full generator distributions:
+// the invariants that make the training data and the decode pipeline
+// trustworthy, swept across seeds with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "chem/fingerprint.h"
+#include "chem/molecule_matrix.h"
+#include "chem/sanitize.h"
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/molecule_gen.h"
+#include "qsim/circuit.h"
+
+namespace sqvae {
+namespace {
+
+struct RoundTripCase {
+  bool pdbbind;
+  std::uint64_t seed;
+};
+
+class MoleculeRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(MoleculeRoundTrip, EncodeDecodeIsIdentityOnGeneratedMolecules) {
+  const auto [pdbbind, seed] = GetParam();
+  Rng rng(seed);
+  const data::MoleculeGenConfig config =
+      pdbbind ? data::pdbbind_config(32) : data::qm9_config(8);
+  const std::size_t dim = pdbbind ? 32 : 8;
+  for (int trial = 0; trial < 25; ++trial) {
+    const chem::Molecule mol = data::generate_molecule(config, rng);
+    const chem::Molecule back =
+        chem::decode_molecule(chem::encode_molecule(mol, dim));
+    // Graph identity via canonical SMILES (atom order is preserved by the
+    // codec, but SMILES equality is the stronger, order-free statement).
+    EXPECT_EQ(chem::to_smiles(mol), chem::to_smiles(back))
+        << "seed " << seed << " trial " << trial;
+    EXPECT_EQ(mol.num_atoms(), back.num_atoms());
+    EXPECT_EQ(mol.num_bonds(), back.num_bonds());
+  }
+}
+
+TEST_P(MoleculeRoundTrip, SmilesRoundTripOnGeneratedMolecules) {
+  const auto [pdbbind, seed] = GetParam();
+  Rng rng(seed + 1000);
+  const data::MoleculeGenConfig config =
+      pdbbind ? data::pdbbind_config(32) : data::qm9_config(8);
+  for (int trial = 0; trial < 25; ++trial) {
+    const chem::Molecule mol = data::generate_molecule(config, rng);
+    const auto smiles = chem::to_smiles(mol);
+    ASSERT_TRUE(smiles.has_value());
+    const auto parsed = chem::from_smiles(*smiles);
+    ASSERT_TRUE(parsed.has_value()) << *smiles;
+    // Canonical form is a fixed point of write-parse-write.
+    EXPECT_EQ(chem::to_smiles(*parsed), smiles) << *smiles;
+    // Parsing preserves the molecular graph up to isomorphism: same
+    // fingerprint and atom/bond counts.
+    EXPECT_EQ(chem::morgan_fingerprint(*parsed), chem::morgan_fingerprint(mol))
+        << *smiles;
+    EXPECT_EQ(parsed->num_atoms(), mol.num_atoms());
+    EXPECT_EQ(parsed->num_bonds(), mol.num_bonds());
+  }
+}
+
+TEST_P(MoleculeRoundTrip, SanitizeLeavesGeneratedMoleculesUntouched) {
+  const auto [pdbbind, seed] = GetParam();
+  Rng rng(seed + 2000);
+  const data::MoleculeGenConfig config =
+      pdbbind ? data::pdbbind_config(32) : data::qm9_config(8);
+  for (int trial = 0; trial < 25; ++trial) {
+    const chem::Molecule mol = data::generate_molecule(config, rng);
+    chem::SanitizeStats stats;
+    const chem::Molecule out = chem::sanitize(mol, &stats);
+    EXPECT_EQ(stats.valence_demotions, 0);
+    EXPECT_EQ(stats.bonds_removed, 0);
+    EXPECT_EQ(stats.aromatic_demotions, 0);
+    EXPECT_EQ(stats.atoms_dropped, 0);
+    EXPECT_EQ(chem::to_smiles(out), chem::to_smiles(mol));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, MoleculeRoundTrip,
+    ::testing::Values(RoundTripCase{false, 1}, RoundTripCase{false, 2},
+                      RoundTripCase{false, 3}, RoundTripCase{true, 4},
+                      RoundTripCase{true, 5}, RoundTripCase{true, 6}));
+
+class CircuitInverse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CircuitInverse, RunThenDaggerRestoresArbitraryStates) {
+  Rng rng(GetParam());
+  const int qubits = rng.uniform_int(2, 6);
+  qsim::Circuit c(qubits);
+  c.strongly_entangling_layers(rng.uniform_int(1, 4), 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+  for (double& p : params) p = rng.uniform(-3, 3);
+
+  // Random (normalised) start state via a scrambling prefix.
+  qsim::Statevector s(qubits);
+  for (int q = 0; q < qubits; ++q) {
+    s.apply_single(qsim::gate_matrix(qsim::GateKind::kRY, rng.uniform(-3, 3)),
+                   q);
+    s.apply_single(qsim::gate_matrix(qsim::GateKind::kRZ, rng.uniform(-3, 3)),
+                   q);
+  }
+  const qsim::Statevector original = s;
+  qsim::run(c, params, s);
+  const auto& ops = c.ops();
+  for (std::size_t k = ops.size(); k > 0; --k) {
+    qsim::apply_op_dagger(s, ops[k - 1], params);
+  }
+  for (std::size_t i = 0; i < s.dim(); ++i) {
+    EXPECT_NEAR(std::abs(s[i] - original[i]), 0.0, 1e-11) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircuitInverse,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace sqvae

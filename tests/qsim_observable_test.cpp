@@ -1,0 +1,80 @@
+#include "qsim/observable.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "qsim/circuit.h"
+#include "qsim/embedding.h"
+
+namespace sqvae::qsim {
+namespace {
+
+TEST(Observable, ZDiagonalSignPattern) {
+  const auto d = z_diagonal(3, 1);
+  ASSERT_EQ(d.size(), 8u);
+  // Bit 1 of the index decides the sign.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(d[i], (i & 2u) ? -1.0 : 1.0) << i;
+  }
+}
+
+TEST(Observable, WeightedZIsLinearCombination) {
+  const std::vector<double> w = {0.5, -1.5, 2.0};
+  const auto combined = weighted_z_diagonal(3, w);
+  std::vector<std::vector<double>> singles;
+  for (int q = 0; q < 3; ++q) singles.push_back(z_diagonal(3, q));
+  for (std::size_t i = 0; i < 8; ++i) {
+    double expected = 0.0;
+    for (int q = 0; q < 3; ++q) {
+      expected += w[static_cast<std::size_t>(q)]
+                  * singles[static_cast<std::size_t>(q)][i];
+    }
+    EXPECT_NEAR(combined[i], expected, 1e-15) << i;
+  }
+}
+
+TEST(Observable, WeightedZExpectationEqualsDotOfExpectations) {
+  // <sum_q w_q Z_q> == dot(w, per-qubit <Z>) — the identity that makes the
+  // one-sweep vector-Jacobian product valid.
+  Rng rng(5);
+  Circuit c(4);
+  c.strongly_entangling_layers(2, 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+  for (double& p : params) p = rng.uniform(-3, 3);
+  Statevector s = run_from_zero(c, params);
+
+  const std::vector<double> w = {0.3, -0.7, 1.1, 0.2};
+  const double combined =
+      s.expectation_diag(weighted_z_diagonal(4, w));
+  const std::vector<double> e = expectations_z(s);
+  double dot = 0.0;
+  for (std::size_t q = 0; q < 4; ++q) dot += w[q] * e[q];
+  EXPECT_NEAR(combined, dot, 1e-12);
+}
+
+TEST(Observable, ProbabilityVjpIsIdentity) {
+  const std::vector<double> w = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_EQ(probability_vjp_diagonal(w), w);
+}
+
+TEST(Observable, ProbabilityVjpExpectationEqualsDotOfProbabilities) {
+  Rng rng(6);
+  Circuit c(3);
+  c.strongly_entangling_layers(2, 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+  for (double& p : params) p = rng.uniform(-3, 3);
+  Statevector s = run_from_zero(c, params);
+
+  std::vector<double> w(8);
+  for (double& v : w) v = rng.uniform(-1, 1);
+  const double combined = s.expectation_diag(probability_vjp_diagonal(w));
+  const auto probs = s.probabilities();
+  double dot = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) dot += w[i] * probs[i];
+  EXPECT_NEAR(combined, dot, 1e-12);
+}
+
+}  // namespace
+}  // namespace sqvae::qsim

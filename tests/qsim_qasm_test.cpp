@@ -1,0 +1,68 @@
+#include "qsim/qasm.h"
+
+#include <gtest/gtest.h>
+
+namespace sqvae::qsim {
+namespace {
+
+TEST(Qasm, HeaderAndRegisterDeclarations) {
+  Circuit c(3);
+  c.h(0);
+  const std::string qasm = to_qasm(c, {});
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+  EXPECT_EQ(qasm.find("creg"), std::string::npos);  // no measurements
+}
+
+TEST(Qasm, GateSpellings) {
+  Circuit c(3);
+  c.h(0).x(1).y(2).z(0).s(1).t(2);
+  c.rx(0, Param::value(0.5)).ry(1, Param::value(-1.0)).rz(2, Param::value(2.0));
+  c.cnot(0, 1).cz(1, 2).swap(0, 2);
+  c.crx(0, 1, Param::value(0.25)).cry(1, 2, Param::value(0.5));
+  c.crz(2, 0, Param::value(0.75));
+  const std::string qasm = to_qasm(c, {});
+  for (const char* expected :
+       {"h q[0];", "x q[1];", "y q[2];", "z q[0];", "s q[1];", "t q[2];",
+        "rx(0.5) q[0];", "ry(-1) q[1];", "rz(2) q[2];", "cx q[0],q[1];",
+        "cz q[1],q[2];", "swap q[0],q[2];", "crx(0.25) q[0],q[1];",
+        "cry(0.5) q[1],q[2];", "crz(0.75) q[2],q[0];"}) {
+    EXPECT_NE(qasm.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST(Qasm, ParameterSlotsAreBoundAtExport) {
+  Circuit c(2);
+  c.ry(0, Param::slot(0)).crz(0, 1, Param::slot(1));
+  const std::string qasm = to_qasm(c, {1.5, -0.5});
+  EXPECT_NE(qasm.find("ry(1.5) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("crz(-0.5) q[0],q[1];"), std::string::npos);
+}
+
+TEST(Qasm, MeasurementVariantAppendsCregAndMeasures) {
+  Circuit c(2);
+  c.h(0).cnot(0, 1);
+  const std::string qasm = to_qasm_with_measurements(c, {});
+  EXPECT_NE(qasm.find("creg c[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q[0] -> c[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q[1] -> c[1];"), std::string::npos);
+}
+
+TEST(Qasm, EntanglingLayersExportCompletely) {
+  Circuit c(4);
+  c.strongly_entangling_layers(2, 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()),
+                             0.1);
+  const std::string qasm = to_qasm(c, params);
+  // 2 layers x (12 rotations + 4 CNOTs) = 32 gate lines.
+  std::size_t lines = 0;
+  for (char ch : qasm) {
+    if (ch == ';') ++lines;
+  }
+  // header include + qreg + 32 gates = 35 semicolons (OPENQASM line too).
+  EXPECT_EQ(lines, 3u + 32u);
+}
+
+}  // namespace
+}  // namespace sqvae::qsim

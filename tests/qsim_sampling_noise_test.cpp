@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "qsim/circuit.h"
+#include "qsim/embedding.h"
+#include "qsim/noise.h"
+#include "qsim/sampling.h"
+
+namespace sqvae::qsim {
+namespace {
+
+TEST(Sampling, DeterministicStateAlwaysSamplesSameOutcome) {
+  Rng rng(1);
+  Statevector s(3);
+  s.apply_single(gate_matrix(GateKind::kX, 0), 1);  // |010> = index 2
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sample_basis_state(s, rng), 2u);
+  }
+}
+
+TEST(Sampling, HistogramConvergesToProbabilities) {
+  Rng rng(2);
+  Statevector s(2);
+  s.apply_single(gate_matrix(GateKind::kRY, 1.1), 0);
+  s.apply_single(gate_matrix(GateKind::kRY, 0.4), 1);
+  const auto exact = s.probabilities();
+  const auto estimate = estimate_probabilities(s, 200000, rng);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(estimate[i], exact[i], 0.01) << i;
+  }
+}
+
+TEST(Sampling, ExpectationEstimateConverges) {
+  Rng rng(3);
+  Statevector s(3);
+  for (int q = 0; q < 3; ++q) {
+    s.apply_single(gate_matrix(GateKind::kRY, 0.5 + 0.4 * q), q);
+  }
+  const auto exact = expectations_z(s);
+  const auto estimate = estimate_expectations_z(s, 200000, rng);
+  for (std::size_t q = 0; q < 3; ++q) {
+    EXPECT_NEAR(estimate[q], exact[q], 0.01) << q;
+  }
+}
+
+TEST(Sampling, ErrorShrinksWithShots) {
+  // Standard error ~ 1/sqrt(shots): the 100x-shot estimate should be
+  // closer on average. Use several independent repetitions to de-noise.
+  Statevector s(1);
+  s.apply_single(gate_matrix(GateKind::kH, 0.0), 0);  // <Z> = 0
+  double coarse_error = 0.0, fine_error = 0.0;
+  Rng rng(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    coarse_error += std::abs(estimate_expectations_z(s, 100, rng)[0]);
+    fine_error += std::abs(estimate_expectations_z(s, 10000, rng)[0]);
+  }
+  EXPECT_LT(fine_error, coarse_error);
+}
+
+TEST(Sampling, ShotsVectorHasRequestedSize) {
+  Rng rng(5);
+  Statevector s(2);
+  s.apply_single(gate_matrix(GateKind::kH, 0.0), 0);
+  const auto shots = sample_shots(s, 123, rng);
+  EXPECT_EQ(shots.size(), 123u);
+  for (std::size_t outcome : shots) EXPECT_LT(outcome, 4u);
+}
+
+TEST(Noise, ZeroErrorMatchesCleanRun) {
+  Rng rng(6);
+  Circuit c(3);
+  c.strongly_entangling_layers(2, 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+  for (double& p : params) p = rng.uniform(-3, 3);
+
+  Statevector noisy(3);
+  run_noisy(c, params, noisy, NoiseModel{0.0}, rng);
+  const Statevector clean = run_from_zero(c, params);
+  for (std::size_t i = 0; i < clean.dim(); ++i) {
+    EXPECT_NEAR(std::abs(noisy[i] - clean[i]), 0.0, 1e-14);
+  }
+}
+
+TEST(Noise, TrajectoriesStayNormalized) {
+  Rng rng(7);
+  Circuit c(4);
+  c.strongly_entangling_layers(3, 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+  for (double& p : params) p = rng.uniform(-3, 3);
+  for (int t = 0; t < 10; ++t) {
+    Statevector s(4);
+    run_noisy(c, params, s, NoiseModel{0.3}, rng);
+    EXPECT_TRUE(s.is_normalized(1e-9));
+  }
+}
+
+TEST(Noise, DepolarizationShrinksExpectations) {
+  // Identity circuit on |0>: clean <Z> = 1. With per-gate Pauli error the
+  // averaged expectation must drop strictly below 1 toward 0.
+  Rng rng(8);
+  Circuit c(1);
+  // 20 no-op RZ gates: each one is a noise opportunity.
+  for (int i = 0; i < 20; ++i) c.rz(0, Param::value(0.0));
+  const auto clean = noisy_expectations_z(c, {}, NoiseModel{0.0}, 1, rng);
+  EXPECT_NEAR(clean[0], 1.0, 1e-12);
+  const auto noisy =
+      noisy_expectations_z(c, {}, NoiseModel{0.05}, 4000, rng);
+  EXPECT_LT(noisy[0], 0.9);
+  EXPECT_GT(noisy[0], 0.0);
+}
+
+TEST(Noise, StrongNoiseFullyDepolarizes) {
+  // With error probability ~1 on many gates, <Z> approaches 0.
+  Rng rng(9);
+  Circuit c(1);
+  for (int i = 0; i < 30; ++i) c.rz(0, Param::value(0.0));
+  const auto e = noisy_expectations_z(c, {}, NoiseModel{0.9}, 6000, rng);
+  EXPECT_NEAR(e[0], 0.0, 0.05);
+}
+
+TEST(Noise, MatchesAnalyticDepolarizingRate) {
+  // One qubit, k noise opportunities at error p: a Pauli error flips the
+  // sign of <Z> with probability 2/3 per occurrence, so
+  // E[<Z>] = (1 - 4p/3)^k (single-qubit depolarizing algebra).
+  Rng rng(10);
+  const double p = 0.08;
+  const int k = 10;
+  Circuit c(1);
+  for (int i = 0; i < k; ++i) c.rz(0, Param::value(0.0));
+  const auto e = noisy_expectations_z(c, {}, NoiseModel{p}, 40000, rng);
+  const double analytic = std::pow(1.0 - 4.0 * p / 3.0, k);
+  EXPECT_NEAR(e[0], analytic, 0.02);
+}
+
+}  // namespace
+}  // namespace sqvae::qsim

@@ -1,0 +1,181 @@
+#include "qsim/statevector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "qsim/gates.h"
+
+namespace sqvae::qsim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Statevector, InitializesToZeroState) {
+  Statevector s(3);
+  EXPECT_EQ(s.num_qubits(), 3);
+  EXPECT_EQ(s.dim(), 8u);
+  EXPECT_NEAR(std::abs(s[0] - cplx{1.0, 0.0}), 0.0, kTol);
+  for (std::size_t i = 1; i < s.dim(); ++i) {
+    EXPECT_NEAR(std::abs(s[i]), 0.0, kTol);
+  }
+  EXPECT_TRUE(s.is_normalized());
+}
+
+TEST(Statevector, ConstructFromAmplitudes) {
+  const double r = 1.0 / std::numbers::sqrt2;
+  Statevector s({cplx{r, 0}, cplx{0, 0}, cplx{0, 0}, cplx{0, r}});
+  EXPECT_EQ(s.num_qubits(), 2);
+  EXPECT_TRUE(s.is_normalized());
+}
+
+TEST(Statevector, PauliXFlipsTargetBit) {
+  Statevector s(2);
+  s.apply_single(gate_matrix(GateKind::kX, 0), 0);
+  EXPECT_NEAR(std::abs(s[1] - cplx{1.0, 0.0}), 0.0, kTol);  // |01> (qubit0=1)
+  s.reset();
+  s.apply_single(gate_matrix(GateKind::kX, 0), 1);
+  EXPECT_NEAR(std::abs(s[2] - cplx{1.0, 0.0}), 0.0, kTol);  // |10>
+}
+
+TEST(Statevector, HadamardCreatesUniformSuperposition) {
+  Statevector s(1);
+  s.apply_single(gate_matrix(GateKind::kH, 0), 0);
+  const double r = 1.0 / std::numbers::sqrt2;
+  EXPECT_NEAR(s[0].real(), r, kTol);
+  EXPECT_NEAR(s[1].real(), r, kTol);
+  EXPECT_NEAR(s.expectation_z(0), 0.0, kTol);
+}
+
+TEST(Statevector, CnotEntanglesIntoBellState) {
+  Statevector s(2);
+  s.apply_single(gate_matrix(GateKind::kH, 0), 0);
+  s.apply_cnot(0, 1);
+  const double half = 0.5;
+  auto p = s.probabilities();
+  EXPECT_NEAR(p[0], half, kTol);  // |00>
+  EXPECT_NEAR(p[3], half, kTol);  // |11>
+  EXPECT_NEAR(p[1] + p[2], 0.0, kTol);
+}
+
+TEST(Statevector, CnotOnlyActsWhenControlSet) {
+  Statevector s(2);
+  s.apply_cnot(0, 1);  // control qubit 0 is |0>: no-op
+  EXPECT_NEAR(std::abs(s[0] - cplx{1.0, 0.0}), 0.0, kTol);
+  s.apply_single(gate_matrix(GateKind::kX, 0), 0);  // |01>
+  s.apply_cnot(0, 1);                               // -> |11>
+  EXPECT_NEAR(std::abs(s[3] - cplx{1.0, 0.0}), 0.0, kTol);
+}
+
+TEST(Statevector, CzFlipsPhaseOf11) {
+  Statevector s(2);
+  s.apply_single(gate_matrix(GateKind::kH, 0), 0);
+  s.apply_single(gate_matrix(GateKind::kH, 0), 1);
+  s.apply_cz(0, 1);
+  EXPECT_NEAR(s[3].real(), -0.5, kTol);
+  EXPECT_NEAR(s[0].real(), 0.5, kTol);
+}
+
+TEST(Statevector, SwapExchangesQubits) {
+  Statevector s(2);
+  s.apply_single(gate_matrix(GateKind::kX, 0), 0);  // |01>
+  s.apply_swap(0, 1);                               // |10>
+  EXPECT_NEAR(std::abs(s[2] - cplx{1.0, 0.0}), 0.0, kTol);
+}
+
+TEST(Statevector, SwapEqualsThreeCnots) {
+  Rng rng(7);
+  Statevector a(3);
+  // Random product state via RY rotations.
+  for (int q = 0; q < 3; ++q) {
+    a.apply_single(gate_matrix(GateKind::kRY, rng.uniform(-3, 3)), q);
+  }
+  Statevector b = a;
+  a.apply_swap(0, 2);
+  b.apply_cnot(0, 2);
+  b.apply_cnot(2, 0);
+  b.apply_cnot(0, 2);
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Statevector, ExpectationZSignConvention) {
+  Statevector s(1);
+  EXPECT_NEAR(s.expectation_z(0), 1.0, kTol);  // |0> -> +1
+  s.apply_single(gate_matrix(GateKind::kX, 0), 0);
+  EXPECT_NEAR(s.expectation_z(0), -1.0, kTol);  // |1> -> -1
+}
+
+TEST(Statevector, ExpectationZOfRyRotation) {
+  // RY(theta)|0> has <Z> = cos(theta).
+  for (double theta : {0.0, 0.3, 1.2, std::numbers::pi / 2, 2.8}) {
+    Statevector s(1);
+    s.apply_single(gate_matrix(GateKind::kRY, theta), 0);
+    EXPECT_NEAR(s.expectation_z(0), std::cos(theta), 1e-12) << theta;
+  }
+}
+
+TEST(Statevector, ExpectationDiagMatchesManualSum) {
+  Statevector s(2);
+  s.apply_single(gate_matrix(GateKind::kH, 0), 0);
+  s.apply_single(gate_matrix(GateKind::kRY, 0.7), 1);
+  const std::vector<double> diag = {0.5, -1.0, 2.0, 3.0};
+  const auto p = s.probabilities();
+  double expect = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) expect += diag[i] * p[i];
+  EXPECT_NEAR(s.expectation_diag(diag), expect, kTol);
+}
+
+TEST(Statevector, InnerProduct) {
+  Statevector a(1), b(1);
+  b.apply_single(gate_matrix(GateKind::kH, 0), 0);
+  const cplx ip = Statevector::inner(a, b);
+  EXPECT_NEAR(ip.real(), 1.0 / std::numbers::sqrt2, kTol);
+  EXPECT_NEAR(ip.imag(), 0.0, kTol);
+}
+
+// Property: random circuits of unitary gates preserve the norm.
+class NormPreservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormPreservation, RandomCircuitKeepsUnitNorm) {
+  const int num_qubits = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(num_qubits));
+  Statevector s(num_qubits);
+  const GateKind one_qubit[] = {GateKind::kRX, GateKind::kRY, GateKind::kRZ,
+                                GateKind::kH,  GateKind::kX,  GateKind::kY,
+                                GateKind::kZ,  GateKind::kS,  GateKind::kT};
+  for (int step = 0; step < 60; ++step) {
+    const int t = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(num_qubits)));
+    if (num_qubits >= 2 && rng.bernoulli(0.3)) {
+      int c = t;
+      while (c == t) {
+        c = static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+      }
+      switch (rng.uniform_int(0, 2)) {
+        case 0: s.apply_cnot(c, t); break;
+        case 1: s.apply_cz(c, t); break;
+        default:
+          s.apply_controlled_single(
+              gate_matrix(GateKind::kCRZ, rng.uniform(-3, 3)), c, t);
+      }
+    } else {
+      const GateKind k = one_qubit[rng.uniform_index(9)];
+      s.apply_single(gate_matrix(k, rng.uniform(-3, 3)), t);
+    }
+  }
+  EXPECT_TRUE(s.is_normalized(1e-9));
+  double psum = 0.0;
+  for (double p : s.probabilities()) psum += p;
+  EXPECT_NEAR(psum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NormPreservation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10));
+
+}  // namespace
+}  // namespace sqvae::qsim

@@ -1,0 +1,150 @@
+// Stress and scale tests: deeper graphs, wider registers, longer chains —
+// cheap enough for CI but past the sizes the unit suites use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/optim.h"
+#include "qsim/adjoint.h"
+#include "qsim/circuit.h"
+#include "qsim/observable.h"
+
+namespace sqvae {
+namespace {
+
+TEST(Stress, DeepAutodiffChainGradientIsExact) {
+  // f(x) = tanh(tanh(...tanh(x)...)) 60 deep; d/dx = prod (1 - t_i^2).
+  ad::Parameter x(Matrix{{0.5}});
+  ad::Tape tape;
+  ad::Var v = tape.leaf(&x);
+  for (int i = 0; i < 60; ++i) v = tape.tanh_(v);
+  ad::Var loss = tape.mse_loss(v, Matrix(1, 1));
+  x.zero_grad();
+  tape.backward(loss);
+
+  double value = 0.5;
+  double grad = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    value = std::tanh(value);
+    grad *= 1.0 - value * value;
+  }
+  // loss = value^2, dloss/dx = 2 * value * grad.
+  EXPECT_NEAR(x.grad(0, 0), 2.0 * value * grad, 1e-12);
+}
+
+TEST(Stress, WideGraphManyBranchesAccumulate) {
+  // loss = mean((sum of 64 copies of x)^2) exercises fan-out accumulation.
+  ad::Parameter x(Matrix{{0.25}});
+  ad::Tape tape;
+  ad::Var v = tape.leaf(&x);
+  ad::Var acc = v;
+  for (int i = 1; i < 64; ++i) acc = tape.add(acc, v);
+  ad::Var loss = tape.mse_loss(acc, Matrix(1, 1));
+  x.zero_grad();
+  tape.backward(loss);
+  // d/dx (64 x)^2 = 2 * 64x * 64.
+  EXPECT_NEAR(x.grad(0, 0), 2.0 * 64.0 * 0.25 * 64.0, 1e-9);
+}
+
+TEST(Stress, TwelveQubitCircuitRemainsExact) {
+  Rng rng(1);
+  qsim::Circuit c(12);
+  c.strongly_entangling_layers(2, 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+  for (double& p : params) p = rng.uniform(-3, 3);
+  const qsim::Statevector s = qsim::run_from_zero(c, params);
+  EXPECT_TRUE(s.is_normalized(1e-9));
+  double psum = 0.0;
+  for (double p : s.probabilities()) psum += p;
+  EXPECT_NEAR(psum, 1.0, 1e-9);
+}
+
+TEST(Stress, AdjointOnTenQubitsStillMatchesFiniteDifferenceSpotCheck) {
+  Rng rng(2);
+  qsim::Circuit c(10);
+  c.strongly_entangling_layers(3, 0);
+  std::vector<double> params(static_cast<std::size_t>(c.num_param_slots()));
+  for (double& p : params) p = rng.uniform(-3, 3);
+  std::vector<double> cot(10);
+  for (double& v : cot) v = rng.uniform(-1, 1);
+  const auto diag = qsim::weighted_z_diagonal(10, cot);
+  const qsim::Statevector initial(10);
+  const auto adj = qsim::adjoint_gradient(c, params, initial, diag);
+
+  // Spot-check 6 random slots against central differences.
+  const double eps = 1e-5;
+  for (int k = 0; k < 6; ++k) {
+    const std::size_t i = rng.uniform_index(params.size());
+    std::vector<double> p = params;
+    p[i] += eps;
+    qsim::Statevector plus = initial;
+    qsim::run(c, p, plus);
+    p[i] -= 2 * eps;
+    qsim::Statevector minus = initial;
+    qsim::run(c, p, minus);
+    const double fd =
+        (plus.expectation_diag(diag) - minus.expectation_diag(diag)) /
+        (2 * eps);
+    EXPECT_NEAR(adj.param_grads[i], fd, 1e-6) << "slot " << i;
+  }
+}
+
+TEST(Stress, LongAdamRunStaysFiniteAtHighLearningRate) {
+  Rng rng(3);
+  nn::Mlp mlp({8, 16, 8}, nn::Activation::kTanh, rng);
+  Matrix x(16, 8);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform(-1, 1);
+  nn::Adam opt({nn::ParamGroup{mlp.parameters(), 0.3}});
+  double last = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    ad::Tape tape;
+    ad::Var loss = tape.mse_loss(mlp.forward(tape, tape.constant(x)), x);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+    last = tape.value(loss)(0, 0);
+    ASSERT_TRUE(std::isfinite(last)) << "step " << step;
+  }
+  EXPECT_TRUE(std::isfinite(last));
+}
+
+TEST(Stress, RngStreamsRemainHealthyOverMillionsOfDraws) {
+  Rng rng(4);
+  // Chi-square-ish sanity on byte frequencies of 1e6 draws.
+  int buckets[16] = {0};
+  const int n = 1000000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng() & 0xF];
+  }
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_NEAR(buckets[b], n / 16, n / 16 / 10) << b;
+  }
+}
+
+TEST(Stress, TapeReusePatternManyForwardBackwardCycles) {
+  // The training loop builds a fresh tape per batch; make sure repeated
+  // cycles neither leak gradients nor corrupt parameters.
+  Rng rng(5);
+  nn::Linear layer(4, 4, rng);
+  Matrix x(2, 4, 0.5);
+  nn::Adam opt({nn::ParamGroup{layer.parameters(), 0.01}});
+  double first = 0.0, last = 0.0;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    ad::Tape tape;
+    ad::Var loss =
+        tape.mse_loss(layer.forward(tape, tape.constant(x)), Matrix(2, 4, 1.0));
+    if (cycle == 0) first = tape.value(loss)(0, 0);
+    last = tape.value(loss)(0, 0);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+  }
+  EXPECT_LT(last, first);
+  EXPECT_LT(last, 1e-3);
+}
+
+}  // namespace
+}  // namespace sqvae

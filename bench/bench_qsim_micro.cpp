@@ -3,14 +3,27 @@
 // parameter shift vs finite differences, gate-kernel throughput vs qubit
 // count, and the patched-vs-holistic circuit cost that motivates the
 // scalable architecture.
+//
+// In addition to the google-benchmark registrations, the binary always runs
+// a CircuitExecutor A/B comparison — batched gate-fused execution vs the
+// naive per-sample interpreter loop on the models' embedding+entangling
+// circuit — and writes it as JSON (default BENCH_qsim_micro.json, override
+// with --json=PATH; see the BENCH_*.json convention in README.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <numbers>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "qsim/adjoint.h"
 #include "qsim/circuit.h"
 #include "qsim/embedding.h"
+#include "qsim/executor.h"
 #include "qsim/observable.h"
 #include "qsim/paramshift.h"
 
@@ -150,6 +163,193 @@ void BM_PatchedForward1024(benchmark::State& state) {
 }
 BENCHMARK(BM_PatchedForward1024)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+// --- CircuitExecutor: batched gate-fused execution vs naive loop. -------
+
+/// The models' hot-path circuit: RY angle embedding + L strongly
+/// entangling layers, embedding slots varying per sample, weights shared.
+struct BatchWorkload {
+  Circuit circuit;
+  std::vector<std::vector<double>> slots;  // one full slot vector per sample
+
+  BatchWorkload(int qubits, int layers, int batch, Rng& rng)
+      : circuit(qubits) {
+    const int first_weight = circuit.angle_embedding(0);
+    circuit.strongly_entangling_layers(layers, first_weight);
+    const auto weights =
+        random_params(circuit.num_param_slots() - first_weight, rng);
+    slots.reserve(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      std::vector<double> s = random_params(first_weight, rng);
+      s.insert(s.end(), weights.begin(), weights.end());
+      slots.push_back(std::move(s));
+    }
+  }
+};
+
+void BM_BatchNaiveLoop(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  Rng rng(5);
+  BatchWorkload w(qubits, 5, batch, rng);
+  for (auto _ : state) {
+    for (const auto& slots : w.slots) {
+      Statevector sv = run_from_zero(w.circuit, slots);
+      benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchNaiveLoop)->Args({8, 64})->Args({10, 64});
+
+void BM_BatchExecutorFused(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  Rng rng(5);
+  BatchWorkload w(qubits, 5, batch, rng);
+  const CircuitExecutor exec(w.circuit);
+  for (auto _ : state) {
+    std::vector<Statevector> states(static_cast<std::size_t>(batch),
+                                    Statevector(qubits));
+    exec.run_batch(w.slots, states);
+    benchmark::DoNotOptimize(states.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchExecutorFused)->Args({8, 64})->Args({10, 64});
+
+// --- Always-on A/B report written as BENCH_qsim_micro.json. -------------
+
+struct AbRow {
+  int qubits;
+  int layers;
+  int batch;
+  std::size_t circuit_ops;
+  std::size_t plan_ops;
+  double naive_ms;
+  double fused_ms;
+  double speedup;
+};
+
+double median_ms(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+AbRow run_ab(int qubits, int layers, int batch, int reps) {
+  Rng rng(11);
+  BatchWorkload w(qubits, layers, batch, rng);
+  const CircuitExecutor exec(w.circuit);
+
+  AbRow row{};
+  row.qubits = qubits;
+  row.layers = layers;
+  row.batch = batch;
+  row.circuit_ops = exec.num_circuit_ops();
+  row.plan_ops = exec.num_plan_ops();
+
+  // Warm-up plus correctness guard: both paths must agree.
+  {
+    std::vector<Statevector> states(static_cast<std::size_t>(batch),
+                                    Statevector(qubits));
+    exec.run_batch(w.slots, states);
+    const Statevector ref = run_from_zero(w.circuit, w.slots[0]);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < ref.dim(); ++i) {
+      max_err = std::max(max_err, std::abs(ref[i] - states[0][i]));
+    }
+    if (max_err > 1e-9) {
+      std::fprintf(stderr, "executor/naive mismatch: %g\n", max_err);
+      std::exit(1);
+    }
+  }
+
+  std::vector<double> naive_samples, fused_samples;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    for (const auto& slots : w.slots) {
+      Statevector sv = run_from_zero(w.circuit, slots);
+      benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    naive_samples.push_back(watch.millis());
+
+    // Statevector construction is timed on both sides: the naive loop pays
+    // it inside run_from_zero, the fused path pays it here.
+    watch.reset();
+    std::vector<Statevector> states(static_cast<std::size_t>(batch),
+                                    Statevector(qubits));
+    exec.run_batch(w.slots, states);
+    benchmark::DoNotOptimize(states.data());
+    fused_samples.push_back(watch.millis());
+  }
+  row.naive_ms = median_ms(naive_samples);
+  row.fused_ms = median_ms(fused_samples);
+  row.speedup = row.naive_ms / row.fused_ms;
+  return row;
+}
+
+void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"qsim_micro/executor_batch_ab\",\n"
+               "  \"unit\": \"ms\",\n"
+               "  \"description\": \"CircuitExecutor::run_batch (gate-fused)"
+               " vs naive per-sample qsim::run loop\",\n"
+               "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AbRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"qubits\": %d, \"layers\": %d, \"batch\": %d, "
+                 "\"circuit_ops\": %zu, \"plan_ops\": %zu, "
+                 "\"naive_ms\": %.4f, \"fused_ms\": %.4f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.qubits, r.layers, r.batch, r.circuit_ops, r.plan_ops,
+                 r.naive_ms, r.fused_ms, r.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our --json flag before google-benchmark sees the arguments.
+  std::string json_path = "BENCH_qsim_micro.json";
+  bool skip_gbench = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--ab_only") == 0) {
+      skip_gbench = true;  // fast path for CI and the checked-in report
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int gargc = static_cast<int>(args.size());
+  benchmark::Initialize(&gargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(gargc, args.data())) return 1;
+  if (!skip_gbench) benchmark::RunSpecifiedBenchmarks();
+
+  std::vector<AbRow> rows;
+  for (const int qubits : {8, 9, 10}) {
+    rows.push_back(run_ab(qubits, /*layers=*/5, /*batch=*/64, /*reps=*/15));
+  }
+  write_ab_json(json_path, rows);
+  std::printf("== executor batch A/B (batch=64, 5 layers) ==\n");
+  for (const AbRow& r : rows) {
+    std::printf(
+        "qubits=%2d  ops %zu -> %zu fused  naive %8.3f ms  fused %8.3f ms  "
+        "speedup %.2fx\n",
+        r.qubits, r.circuit_ops, r.plan_ops, r.naive_ms, r.fused_ms,
+        r.speedup);
+  }
+  std::printf("(json written to %s)\n", json_path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

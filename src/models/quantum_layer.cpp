@@ -44,6 +44,7 @@ QuantumLayer::QuantumLayer(const QuantumLayerConfig& config, sqvae::Rng& rng)
     : config_(config),
       weight_slot_offset_(weight_offset_for(config)),
       circuit_(build_circuit(config)),
+      executor_(circuit_),
       weights_(init_weights(
           Circuit::entangling_layer_param_count(config.num_qubits,
                                                 config.entangling_layers),
@@ -91,12 +92,23 @@ std::vector<double> QuantumLayer::measure(const Statevector& state) const {
 
 Matrix QuantumLayer::forward_values(const Matrix& input) const {
   assert(input.cols() == static_cast<std::size_t>(config_.input_dim));
-  Matrix out(input.rows(), static_cast<std::size_t>(output_dim()));
-  for (std::size_t r = 0; r < input.rows(); ++r) {
+  const std::size_t batch = input.rows();
+
+  // Assemble per-sample slot vectors and initial states, then advance the
+  // whole mini-batch through the compiled plan in one call.
+  std::vector<std::vector<double>> slots(batch);
+  std::vector<Statevector> states;
+  states.reserve(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
     const std::vector<double> row = input.row(r);
-    Statevector state = initial_state(row);
-    qsim::run(circuit_, slot_values(row), state);
-    const std::vector<double> y = measure(state);
+    slots[r] = slot_values(row);
+    states.push_back(initial_state(row));
+  }
+  executor_.run_batch(slots, states);
+
+  Matrix out(batch, static_cast<std::size_t>(output_dim()));
+  for (std::size_t r = 0; r < batch; ++r) {
+    const std::vector<double> y = measure(states[r]);
     for (std::size_t c = 0; c < y.size(); ++c) out(r, c) = y[c];
   }
   return out;
@@ -111,28 +123,35 @@ ad::Var QuantumLayer::forward(ad::Tape& tape, ad::Var input) {
   ad::Var w = tape.leaf(&weights_);
   Matrix out = forward_values(in_value);
 
-  // The backward closure recomputes per-sample adjoint sweeps from the
-  // *taped* input and weight values (both immutable for this tape's
-  // lifetime).
+  // The backward closure recomputes batched adjoint sweeps from the *taped*
+  // input and weight values (both immutable for this tape's lifetime).
   auto backward = [this, input, w](ad::Tape& t, const Matrix& out_grad) {
     const Matrix& in_v = t.value(input);
     const std::size_t batch = in_v.rows();
     Matrix grad_in(batch, static_cast<std::size_t>(config_.input_dim));
     Matrix grad_w(1, weights_.value.size());
 
+    // One adjoint sweep per sample, run as a batch through the executor.
+    std::vector<std::vector<double>> slots(batch);
+    std::vector<std::vector<double>> diags(batch);
+    std::vector<Statevector> initials;
+    initials.reserve(batch);
     for (std::size_t r = 0; r < batch; ++r) {
       const std::vector<double> row = in_v.row(r);
       const std::vector<double> cotangent = out_grad.row(r);
-
-      std::vector<double> diag;
       if (config_.output == QuantumLayerConfig::OutputMode::kExpectationZ) {
-        diag = qsim::weighted_z_diagonal(config_.num_qubits, cotangent);
+        diags[r] = qsim::weighted_z_diagonal(config_.num_qubits, cotangent);
       } else {
-        diag = qsim::probability_vjp_diagonal(cotangent);
+        diags[r] = qsim::probability_vjp_diagonal(cotangent);
       }
+      slots[r] = slot_values(row);
+      initials.push_back(initial_state(row));
+    }
+    const std::vector<qsim::AdjointResult> batch_res =
+        executor_.adjoint_batch(slots, initials, diags);
 
-      const qsim::AdjointResult res = qsim::adjoint_gradient(
-          circuit_, slot_values(row), initial_state(row), diag);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const qsim::AdjointResult& res = batch_res[r];
 
       // Weight gradients: slots [offset, offset + W).
       for (std::size_t k = 0; k < weights_.value.size(); ++k) {
@@ -149,7 +168,7 @@ ad::Var QuantumLayer::forward(ad::Tape& tape, ad::Var input) {
         const std::vector<double> state_grad =
             qsim::real_initial_gradient(res);
         const std::vector<double> dx =
-            qsim::amplitude_embedding_backward(row, state_grad);
+            qsim::amplitude_embedding_backward(in_v.row(r), state_grad);
         for (std::size_t c = 0; c < dx.size(); ++c) grad_in(r, c) = dx[c];
       }
     }

@@ -24,6 +24,7 @@
 #include "autodiff/tape.h"
 #include "common/rng.h"
 #include "qsim/circuit.h"
+#include "qsim/executor.h"
 
 namespace sqvae::models {
 
@@ -64,6 +65,9 @@ class QuantumLayer {
   std::size_t num_parameters() const { return weights_.size(); }
   ad::Parameter& weights() { return weights_; }
   const qsim::Circuit& circuit() const { return circuit_; }
+  /// The compiled (gate-fused, batch-parallel) execution plan every forward
+  /// and adjoint pass of this layer runs through.
+  const qsim::CircuitExecutor& executor() const { return executor_; }
 
  private:
   /// Assembles the full slot vector for one sample (angle mode prepends the
@@ -78,6 +82,7 @@ class QuantumLayer {
   // on it being final.
   int weight_slot_offset_ = 0;
   qsim::Circuit circuit_;
+  qsim::CircuitExecutor executor_;  // compiled from circuit_, kept in sync
   ad::Parameter weights_;
 };
 

@@ -50,16 +50,32 @@ AdjointResult adjoint_gradient(const Circuit& circuit,
 
   // Value and lambda = O psi (diagonal observable => elementwise product).
   Statevector lambda = psi;
+  result.value = apply_diag_observable(diag, psi, lambda);
+
+  // Reverse sweep.
+  adjoint_reverse_sweep(circuit.ops(), params, psi, lambda,
+                        result.param_grads);
+  result.initial_lambda = lambda.amplitudes();
+  return result;
+}
+
+double apply_diag_observable(const std::vector<double>& diag,
+                             const Statevector& psi, Statevector& lambda) {
+  assert(diag.size() == psi.dim());
+  assert(lambda.dim() == psi.dim());
   double value = 0.0;
   for (std::size_t i = 0; i < psi.dim(); ++i) {
     value += diag[i] * std::norm(psi[i]);
     lambda[i] = diag[i] * psi[i];
   }
-  result.value = value;
+  return value;
+}
 
-  // Reverse sweep.
-  Statevector mu(circuit.num_qubits());
-  const auto& ops = circuit.ops();
+void adjoint_reverse_sweep(const std::vector<GateOp>& ops,
+                           const std::vector<double>& params, Statevector& psi,
+                           Statevector& lambda,
+                           std::vector<double>& param_grads) {
+  Statevector mu(psi.num_qubits());
   for (std::size_t k = ops.size(); k > 0; --k) {
     const GateOp& op = ops[k - 1];
     apply_op_dagger(psi, op, params);  // psi is now the state before gate k
@@ -67,13 +83,11 @@ AdjointResult adjoint_gradient(const Circuit& circuit,
       mu = psi;
       apply_op_derivative(mu, op, resolve_param(op, params));
       const cplx overlap = Statevector::inner(lambda, mu);
-      result.param_grads[static_cast<std::size_t>(op.param.index)] +=
+      param_grads[static_cast<std::size_t>(op.param.index)] +=
           2.0 * overlap.real();
     }
     apply_op_dagger(lambda, op, params);
   }
-  result.initial_lambda = lambda.amplitudes();
-  return result;
 }
 
 AdjointResult adjoint_gradient_z_vjp(const Circuit& circuit,

@@ -58,4 +58,21 @@ AdjointResult adjoint_gradient_z_vjp(const Circuit& circuit,
 /// respect to real initial amplitudes.
 std::vector<double> real_initial_gradient(const AdjointResult& result);
 
+/// Forward half shared by the sweep implementations: writes
+/// lambda = diag(O) psi elementwise and returns <psi| diag |psi>. `lambda`
+/// must already have psi's dimension (it is typically a copy of psi).
+double apply_diag_observable(const std::vector<double>& diag,
+                             const Statevector& psi, Statevector& lambda);
+
+/// Reverse half of the adjoint sweep, exposed so execution engines (see
+/// executor.h) can pair it with their own — e.g. gate-fused — forward pass.
+/// On entry `psi` must hold the final state U|phi0> and `lambda` the vector
+/// O psi. On exit `psi` holds the initial state, `lambda` holds U^dag O psi,
+/// and `param_grads` (length >= the highest referenced slot + 1) has
+/// accumulated dE/d(slot) for every parameterized slot-bound gate.
+void adjoint_reverse_sweep(const std::vector<GateOp>& ops,
+                           const std::vector<double>& params, Statevector& psi,
+                           Statevector& lambda,
+                           std::vector<double>& param_grads);
+
 }  // namespace sqvae::qsim

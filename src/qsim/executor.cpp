@@ -1,0 +1,211 @@
+#include "qsim/executor.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace sqvae::qsim {
+
+namespace {
+
+constexpr Mat2 kIdentity{cplx{1.0, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0},
+                         cplx{1.0, 0.0}};
+
+double resolve(const Param& p, const std::vector<double>& params) {
+  if (p.index >= 0) {
+    assert(static_cast<std::size_t>(p.index) < params.size());
+    return params[static_cast<std::size_t>(p.index)];
+  }
+  return p.constant;
+}
+
+}  // namespace
+
+CircuitExecutor::CircuitExecutor(const Circuit& circuit)
+    : num_qubits_(circuit.num_qubits()),
+      num_param_slots_(circuit.num_param_slots()),
+      ops_(circuit.ops()) {
+  // Per-target runs of not-yet-emitted single-qubit gates. A run is flushed
+  // (fused into one plan step) only when a two-qubit gate touches its wire
+  // or the circuit ends; single-qubit gates on other wires commute past it.
+  std::vector<std::vector<Factor>> pending(
+      static_cast<std::size_t>(num_qubits_));
+
+  auto flush = [&](int q) {
+    std::vector<Factor>& run = pending[static_cast<std::size_t>(q)];
+    if (run.empty()) return;
+    Step s;
+    s.kind = StepKind::kSingle;
+    s.target = q;
+    s.factor_begin = static_cast<int>(factors_.size());
+    factors_.insert(factors_.end(), run.begin(), run.end());
+    s.factor_end = static_cast<int>(factors_.size());
+    for (const Factor& f : run) {
+      if (f.param.is_slot()) s.constant = false;
+    }
+    if (s.constant) s.matrix = bind_step(s, {});
+    plan_.push_back(s);
+    run.clear();
+  };
+
+  for (const GateOp& op : ops_) {
+    switch (op.kind) {
+      case GateKind::kCNOT:
+      case GateKind::kCZ:
+      case GateKind::kSWAP: {
+        flush(op.control);
+        flush(op.target);
+        Step s;
+        s.kind = op.kind == GateKind::kCNOT  ? StepKind::kCNOT
+                 : op.kind == GateKind::kCZ ? StepKind::kCZ
+                                            : StepKind::kSWAP;
+        s.target = op.target;
+        s.control = op.control;
+        plan_.push_back(s);
+        break;
+      }
+      case GateKind::kCRX:
+      case GateKind::kCRY:
+      case GateKind::kCRZ: {
+        flush(op.control);
+        flush(op.target);
+        Step s;
+        s.kind = StepKind::kControlled;
+        s.target = op.target;
+        s.control = op.control;
+        s.factor_begin = static_cast<int>(factors_.size());
+        factors_.push_back(Factor{op.kind, op.param});
+        s.factor_end = s.factor_begin + 1;
+        s.constant = !op.param.is_slot();
+        if (s.constant) s.matrix = gate_matrix(op.kind, op.param.constant);
+        plan_.push_back(s);
+        break;
+      }
+      default:
+        pending[static_cast<std::size_t>(op.target)].push_back(
+            Factor{op.kind, op.param});
+        break;
+    }
+  }
+  for (int q = 0; q < num_qubits_; ++q) flush(q);
+}
+
+Mat2 CircuitExecutor::bind_step(const Step& s,
+                                const std::vector<double>& params) const {
+  Mat2 m = kIdentity;
+  // Factor i acts after factor i-1, so it multiplies on the left.
+  for (int f = s.factor_begin; f < s.factor_end; ++f) {
+    const Factor& factor = factors_[static_cast<std::size_t>(f)];
+    m = matmul2(gate_matrix(factor.gate, resolve(factor.param, params)), m);
+  }
+  return m;
+}
+
+void CircuitExecutor::bind(const std::vector<double>& params,
+                           std::vector<Mat2>& matrices) const {
+  matrices.resize(plan_.size());
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const Step& s = plan_[i];
+    if (s.kind == StepKind::kSingle || s.kind == StepKind::kControlled) {
+      matrices[i] = s.constant ? s.matrix : bind_step(s, params);
+    }
+  }
+}
+
+void CircuitExecutor::execute(const std::vector<Mat2>& matrices,
+                              Statevector& state) const {
+  assert(state.num_qubits() == num_qubits_);
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const Step& s = plan_[i];
+    switch (s.kind) {
+      case StepKind::kSingle:
+        state.apply_single(matrices[i], s.target);
+        break;
+      case StepKind::kControlled:
+        state.apply_controlled_single(matrices[i], s.control, s.target);
+        break;
+      case StepKind::kCNOT:
+        state.apply_cnot(s.control, s.target);
+        break;
+      case StepKind::kCZ:
+        state.apply_cz(s.control, s.target);
+        break;
+      case StepKind::kSWAP:
+        state.apply_swap(s.control, s.target);
+        break;
+    }
+  }
+}
+
+void CircuitExecutor::run(const std::vector<double>& params,
+                          Statevector& state) const {
+  assert(static_cast<int>(params.size()) >= num_param_slots_);
+  std::vector<Mat2> matrices;
+  bind(params, matrices);
+  execute(matrices, state);
+}
+
+Statevector CircuitExecutor::run_from_zero(
+    const std::vector<double>& params) const {
+  Statevector state(num_qubits_);
+  run(params, state);
+  return state;
+}
+
+void CircuitExecutor::run_batch(
+    const std::vector<std::vector<double>>& params_batch,
+    std::vector<Statevector>& states) const {
+  assert(params_batch.size() == states.size());
+  const std::int64_t batch = static_cast<std::int64_t>(states.size());
+#pragma omp parallel
+  {
+    // One bind buffer per thread, reused across its samples.
+    std::vector<Mat2> matrices;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      assert(static_cast<int>(params_batch[k].size()) >= num_param_slots_);
+      bind(params_batch[k], matrices);
+      execute(matrices, states[k]);
+    }
+  }
+}
+
+std::vector<AdjointResult> CircuitExecutor::adjoint_batch(
+    const std::vector<std::vector<double>>& params_batch,
+    const std::vector<Statevector>& initials,
+    const std::vector<std::vector<double>>& diags) const {
+  assert(params_batch.size() == initials.size());
+  assert(params_batch.size() == diags.size());
+  const std::int64_t batch = static_cast<std::int64_t>(params_batch.size());
+  std::vector<AdjointResult> results(static_cast<std::size_t>(batch));
+#pragma omp parallel
+  {
+    std::vector<Mat2> matrices;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      const std::vector<double>& params = params_batch[k];
+      const std::vector<double>& diag = diags[k];
+      assert(initials[k].num_qubits() == num_qubits_);
+      assert(diag.size() == initials[k].dim());
+
+      // Fused forward pass.
+      Statevector psi = initials[k];
+      bind(params, matrices);
+      execute(matrices, psi);
+
+      // Value and lambda = diag(O) psi.
+      AdjointResult& r = results[k];
+      Statevector lambda = psi;
+      r.value = apply_diag_observable(diag, psi, lambda);
+
+      // Exact per-gate reverse sweep over the original op list.
+      r.param_grads.assign(static_cast<std::size_t>(num_param_slots_), 0.0);
+      adjoint_reverse_sweep(ops_, params, psi, lambda, r.param_grads);
+      r.initial_lambda = lambda.amplitudes();
+    }
+  }
+  return results;
+}
+
+}  // namespace sqvae::qsim

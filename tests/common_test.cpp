@@ -207,7 +207,9 @@ TEST(Table, TextAndCsvRendering) {
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch w;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GT(w.seconds(), 0.0);
   w.reset();
   EXPECT_LT(w.seconds(), 1.0);

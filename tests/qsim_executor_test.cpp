@@ -1,0 +1,262 @@
+// Golden-value equivalence of the compiled CircuitExecutor against the
+// gate-by-gate Statevector interpreter, plus fusion-plan structure checks.
+// The executor's fused plan must be numerically indistinguishable (well
+// below any training tolerance) from qsim::run on every circuit the gate
+// alphabet can express, for any slot/constant parameter mix.
+#include "qsim/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "qsim/circuit.h"
+#include "qsim/embedding.h"
+#include "qsim/observable.h"
+
+namespace sqvae::qsim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+std::vector<double> random_params(int count, Rng& rng) {
+  std::vector<double> p(static_cast<std::size_t>(count));
+  for (double& v : p) v = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  return p;
+}
+
+/// Random normalised state, exercising non-|0...0> initial conditions.
+Statevector random_state(int num_qubits, Rng& rng) {
+  std::vector<cplx> amps(std::size_t{1} << num_qubits);
+  double norm_sq = 0.0;
+  for (cplx& a : amps) {
+    a = cplx{rng.normal(), rng.normal()};
+    norm_sq += std::norm(a);
+  }
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (cplx& a : amps) a *= inv;
+  return Statevector(std::move(amps));
+}
+
+/// Appends one random gate drawn from the full alphabet. Parameterized
+/// gates flip a coin between a fresh slot and an inline constant.
+void push_random_gate(Circuit& c, int num_qubits, int& next_slot, Rng& rng) {
+  const GateKind kinds[] = {
+      GateKind::kRX, GateKind::kRY,  GateKind::kRZ,  GateKind::kH,
+      GateKind::kX,  GateKind::kY,   GateKind::kZ,   GateKind::kS,
+      GateKind::kT,  GateKind::kCNOT, GateKind::kCZ, GateKind::kCRX,
+      GateKind::kCRY, GateKind::kCRZ, GateKind::kSWAP};
+  const GateKind k = kinds[rng.uniform_index(std::size(kinds))];
+  const int target = rng.uniform_int(0, num_qubits - 1);
+  int other = rng.uniform_int(0, num_qubits - 2);
+  if (other >= target) ++other;
+  auto param = [&]() {
+    if (rng.bernoulli(0.5)) return Param::slot(next_slot++);
+    return Param::value(rng.uniform(-std::numbers::pi, std::numbers::pi));
+  };
+  switch (k) {
+    case GateKind::kRX: c.rx(target, param()); break;
+    case GateKind::kRY: c.ry(target, param()); break;
+    case GateKind::kRZ: c.rz(target, param()); break;
+    case GateKind::kH: c.h(target); break;
+    case GateKind::kX: c.x(target); break;
+    case GateKind::kY: c.y(target); break;
+    case GateKind::kZ: c.z(target); break;
+    case GateKind::kS: c.s(target); break;
+    case GateKind::kT: c.t(target); break;
+    case GateKind::kCNOT: c.cnot(other, target); break;
+    case GateKind::kCZ: c.cz(other, target); break;
+    case GateKind::kCRX: c.crx(other, target, param()); break;
+    case GateKind::kCRY: c.cry(other, target, param()); break;
+    case GateKind::kCRZ: c.crz(other, target, param()); break;
+    case GateKind::kSWAP: c.swap(other, target); break;
+  }
+}
+
+void expect_states_close(const Statevector& a, const Statevector& b,
+                         double tol = kTol) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, tol) << "amplitude " << i;
+  }
+}
+
+TEST(CircuitExecutor, MatchesInterpreterOnRandomizedCircuits) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int qubits = rng.uniform_int(2, 6);
+    const int gates = rng.uniform_int(1, 60);
+    Circuit c(qubits);
+    int next_slot = 0;
+    for (int g = 0; g < gates; ++g) {
+      push_random_gate(c, qubits, next_slot, rng);
+    }
+    const auto params = random_params(c.num_param_slots(), rng);
+
+    Statevector initial = random_state(qubits, rng);
+    Statevector naive = initial;
+    run(c, params, naive);
+
+    CircuitExecutor exec(c);
+    Statevector fused = initial;
+    exec.run(params, fused);
+
+    expect_states_close(naive, fused);
+  }
+}
+
+TEST(CircuitExecutor, MatchesInterpreterOnEntanglingLayerCircuit) {
+  Rng rng(42);
+  for (const int qubits : {1, 2, 4, 7}) {
+    Circuit c(qubits);
+    int slot = c.angle_embedding(0);
+    c.strongly_entangling_layers(3, slot);
+    const auto params = random_params(c.num_param_slots(), rng);
+
+    Statevector naive = run_from_zero(c, params);
+    CircuitExecutor exec(c);
+    expect_states_close(naive, exec.run_from_zero(params));
+  }
+}
+
+TEST(CircuitExecutor, FusesSameTargetRunsIntoOneStep) {
+  // RY·RZ·RY·RZ on one qubit collapses to a single plan step.
+  Circuit c(2);
+  c.rz(0, Param::slot(0))
+      .ry(0, Param::slot(1))
+      .rz(0, Param::value(0.3))
+      .ry(0, Param::value(-0.7));
+  CircuitExecutor exec(c);
+  EXPECT_EQ(exec.num_circuit_ops(), 4u);
+  EXPECT_EQ(exec.num_plan_ops(), 1u);
+
+  Rng rng(7);
+  const auto params = random_params(c.num_param_slots(), rng);
+  expect_states_close(run_from_zero(c, params), exec.run_from_zero(params));
+}
+
+TEST(CircuitExecutor, FusesAcrossInterleavedTargets) {
+  // Gates alternate between qubits; commuting single-qubit gates must still
+  // merge into one fused step per wire.
+  Circuit c(2);
+  c.ry(0, Param::slot(0))
+      .ry(1, Param::slot(1))
+      .rz(0, Param::slot(2))
+      .rz(1, Param::slot(3))
+      .h(0)
+      .h(1);
+  CircuitExecutor exec(c);
+  EXPECT_EQ(exec.num_circuit_ops(), 6u);
+  EXPECT_EQ(exec.num_plan_ops(), 2u);
+
+  Rng rng(8);
+  const auto params = random_params(c.num_param_slots(), rng);
+  expect_states_close(run_from_zero(c, params), exec.run_from_zero(params));
+}
+
+TEST(CircuitExecutor, TwoQubitGateCutsFusionOnItsWiresOnly) {
+  // CNOT(0,1) must flush pending runs on qubits 0 and 1 but not on qubit 2.
+  Circuit c(3);
+  c.ry(0, Param::slot(0))
+      .ry(2, Param::slot(1))
+      .cnot(0, 1)
+      .rz(0, Param::slot(2))
+      .rz(2, Param::slot(3));
+  CircuitExecutor exec(c);
+  // Plan: fused RY(q0); CNOT; fused RZ(q0); fused RY·RZ(q2) -> 4 steps.
+  EXPECT_EQ(exec.num_plan_ops(), 4u);
+
+  Rng rng(9);
+  const auto params = random_params(c.num_param_slots(), rng);
+  expect_states_close(run_from_zero(c, params), exec.run_from_zero(params));
+}
+
+TEST(CircuitExecutor, EntanglingLayerPlanIsCompact) {
+  // One strongly entangling layer after angle embedding: per qubit the
+  // embedding RY and the Rot's RZ·RY·RZ fuse into one step, plus the ring
+  // of n CNOTs -> 2n plan steps for 5n circuit ops (n >= 2).
+  const int qubits = 5;
+  Circuit c(qubits);
+  int slot = c.angle_embedding(0);
+  c.strongly_entangling_layers(1, slot);
+  CircuitExecutor exec(c);
+  EXPECT_EQ(exec.num_circuit_ops(), static_cast<std::size_t>(5 * qubits));
+  EXPECT_EQ(exec.num_plan_ops(), static_cast<std::size_t>(2 * qubits));
+}
+
+TEST(CircuitExecutor, RunBatchMatchesPerSampleRuns) {
+  Rng rng(43);
+  const int qubits = 4;
+  Circuit c(qubits);
+  int slot = c.angle_embedding(0);
+  c.strongly_entangling_layers(2, slot);
+  CircuitExecutor exec(c);
+
+  const std::size_t batch = 9;
+  std::vector<std::vector<double>> params(batch);
+  std::vector<Statevector> states;
+  states.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    params[i] = random_params(c.num_param_slots(), rng);
+    states.emplace_back(qubits);
+  }
+  exec.run_batch(params, states);
+
+  for (std::size_t i = 0; i < batch; ++i) {
+    expect_states_close(run_from_zero(c, params[i]), states[i]);
+  }
+}
+
+TEST(CircuitExecutor, AdjointBatchMatchesAdjointGradient) {
+  Rng rng(44);
+  const int qubits = 3;
+  Circuit c(qubits);
+  int next_slot = 0;
+  for (int g = 0; g < 40; ++g) push_random_gate(c, qubits, next_slot, rng);
+
+  CircuitExecutor exec(c);
+  const std::size_t batch = 5;
+  std::vector<std::vector<double>> params(batch);
+  std::vector<std::vector<double>> diags(batch);
+  std::vector<Statevector> initials;
+  initials.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    params[i] = random_params(c.num_param_slots(), rng);
+    std::vector<double> cot(static_cast<std::size_t>(qubits));
+    for (double& v : cot) v = rng.uniform(-1, 1);
+    diags[i] = weighted_z_diagonal(qubits, cot);
+    initials.push_back(random_state(qubits, rng));
+  }
+
+  const auto batched = exec.adjoint_batch(params, initials, diags);
+  ASSERT_EQ(batched.size(), batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const AdjointResult ref =
+        adjoint_gradient(c, params[i], initials[i], diags[i]);
+    EXPECT_NEAR(batched[i].value, ref.value, kTol);
+    ASSERT_EQ(batched[i].param_grads.size(), ref.param_grads.size());
+    for (std::size_t s = 0; s < ref.param_grads.size(); ++s) {
+      EXPECT_NEAR(batched[i].param_grads[s], ref.param_grads[s], 1e-10);
+    }
+    ASSERT_EQ(batched[i].initial_lambda.size(), ref.initial_lambda.size());
+    for (std::size_t j = 0; j < ref.initial_lambda.size(); ++j) {
+      EXPECT_NEAR(std::abs(batched[i].initial_lambda[j] -
+                           ref.initial_lambda[j]),
+                  0.0, 1e-10);
+    }
+  }
+}
+
+TEST(CircuitExecutor, ConstantOnlyCircuitPrebindsEveryStep) {
+  // A circuit with no slots re-binds nothing per sample; results must still
+  // match the interpreter exactly.
+  Circuit c(3);
+  c.h(0).t(1).s(2).cnot(0, 1).x(2).cz(1, 2).rx(0, Param::value(0.25));
+  CircuitExecutor exec(c);
+  EXPECT_EQ(exec.num_param_slots(), 0);
+  expect_states_close(run_from_zero(c, {}), exec.run_from_zero({}));
+}
+
+}  // namespace
+}  // namespace sqvae::qsim

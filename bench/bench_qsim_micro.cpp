@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <numbers>
@@ -21,7 +22,9 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "qsim/adjoint.h"
+#include "qsim/backend.h"
 #include "qsim/circuit.h"
+#include "qsim/density_matrix.h"
 #include "qsim/embedding.h"
 #include "qsim/executor.h"
 #include "qsim/observable.h"
@@ -287,7 +290,85 @@ AbRow run_ab(int qubits, int layers, int batch, int reps) {
   return row;
 }
 
-void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
+// --- Trajectory backend vs exact density matrix: the noisy-regime A/B. ---
+//
+// Same estimate both ways — per-qubit <Z> of a noisy entangling circuit —
+// once as a TrajectoryBackend Monte-Carlo run (O(trajectories * 2^n)) and
+// once through the exact density-matrix channel (O(4^n) per gate). The
+// trajectory side is the production path for noisy training; the density
+// matrix is the correctness oracle it must outrun.
+
+struct TrajAbRow {
+  int qubits;
+  int layers;
+  double gate_error;
+  int trajectories;
+  double trajectory_ms;
+  double density_ms;
+  double speedup;
+  double max_abs_diff;  // trajectory mean vs exact, all qubits
+};
+
+TrajAbRow run_trajectory_ab(int qubits, int layers, double gate_error,
+                            int trajectories, int reps) {
+  Rng rng(13);
+  Circuit c(qubits);
+  c.strongly_entangling_layers(layers, 0);
+  const auto params = random_params(c.num_param_slots(), rng);
+  const CircuitExecutor exec(c);
+  const NoiseModel noise{gate_error};
+
+  SimulationOptions options;
+  options.backend = BackendKind::kTrajectory;
+  options.shots = static_cast<std::size_t>(trajectories);
+  options.noise = noise;
+  options.seed = 17;
+
+  TrajAbRow row{};
+  row.qubits = qubits;
+  row.layers = layers;
+  row.gate_error = gate_error;
+  row.trajectories = trajectories;
+
+  std::vector<double> traj_ms, density_ms;
+  std::vector<double> traj_z;
+  std::vector<double> exact_z(static_cast<std::size_t>(qubits));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    // Fresh backend per rep: every rep times the identical seeded run.
+    TrajectoryBackend backend(options);
+    traj_z = backend.expectations_z(exec, params);
+    traj_ms.push_back(watch.millis());
+
+    watch.reset();
+    const DensityMatrix rho = run_density(c, params, noise);
+    for (int q = 0; q < qubits; ++q) {
+      exact_z[static_cast<std::size_t>(q)] = rho.expectation_z(q);
+    }
+    density_ms.push_back(watch.millis());
+  }
+  row.trajectory_ms = median_ms(traj_ms);
+  row.density_ms = median_ms(density_ms);
+  row.speedup = row.density_ms / row.trajectory_ms;
+  for (int q = 0; q < qubits; ++q) {
+    row.max_abs_diff =
+        std::max(row.max_abs_diff,
+                 std::abs(traj_z[static_cast<std::size_t>(q)] -
+                          exact_z[static_cast<std::size_t>(q)]));
+  }
+  // Monte-Carlo sanity: the mean must sit within ~5 standard errors
+  // (stderr <= 1/sqrt(M)) of the exact channel result.
+  if (row.max_abs_diff >
+      5.0 / std::sqrt(static_cast<double>(trajectories))) {
+    std::fprintf(stderr, "trajectory/density mismatch: %g\n",
+                 row.max_abs_diff);
+    std::exit(1);
+  }
+  return row;
+}
+
+void write_ab_json(const std::string& path, const std::vector<AbRow>& rows,
+                   const std::vector<TrajAbRow>& traj_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -311,7 +392,27 @@ void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
                  r.naive_ms, r.fused_ms, r.speedup,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f,
+               "  ],\n"
+               "  \"trajectory_ab\": {\n"
+               "    \"description\": \"TrajectoryBackend Monte-Carlo noisy"
+               " <Z> estimate vs exact DensityMatrix channel\",\n"
+               "    \"rows\": [\n");
+  for (std::size_t i = 0; i < traj_rows.size(); ++i) {
+    const TrajAbRow& r = traj_rows[i];
+    std::fprintf(f,
+                 "      {\"qubits\": %d, \"layers\": %d, "
+                 "\"gate_error\": %.4f, \"trajectories\": %d, "
+                 "\"trajectory_ms\": %.4f, \"density_ms\": %.4f, "
+                 "\"speedup\": %.3f, \"max_abs_diff\": %.5f}%s\n",
+                 r.qubits, r.layers, r.gate_error, r.trajectories,
+                 r.trajectory_ms, r.density_ms, r.speedup, r.max_abs_diff,
+                 i + 1 < traj_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ]\n"
+               "  }\n"
+               "}\n");
   std::fclose(f);
 }
 
@@ -340,7 +441,14 @@ int main(int argc, char** argv) {
   for (const int qubits : {8, 9, 10}) {
     rows.push_back(run_ab(qubits, /*layers=*/5, /*batch=*/64, /*reps=*/15));
   }
-  write_ab_json(json_path, rows);
+  std::vector<TrajAbRow> traj_rows;
+  for (const int qubits : {6, 8}) {
+    traj_rows.push_back(run_trajectory_ab(qubits, /*layers=*/5,
+                                          /*gate_error=*/0.002,
+                                          /*trajectories=*/1000,
+                                          /*reps=*/7));
+  }
+  write_ab_json(json_path, rows, traj_rows);
   std::printf("== executor batch A/B (batch=64, 5 layers) ==\n");
   for (const AbRow& r : rows) {
     std::printf(
@@ -348,6 +456,15 @@ int main(int argc, char** argv) {
         "speedup %.2fx\n",
         r.qubits, r.circuit_ops, r.plan_ops, r.naive_ms, r.fused_ms,
         r.speedup);
+  }
+  std::printf(
+      "== trajectory backend vs density matrix (p=0.002, 1000 "
+      "trajectories) ==\n");
+  for (const TrajAbRow& r : traj_rows) {
+    std::printf(
+        "qubits=%2d  trajectory %8.3f ms  density %8.3f ms  speedup %.2fx  "
+        "max |dZ| %.4f\n",
+        r.qubits, r.trajectory_ms, r.density_ms, r.speedup, r.max_abs_diff);
   }
   std::printf("(json written to %s)\n", json_path.c_str());
   benchmark::Shutdown();

@@ -21,6 +21,7 @@
 #include "autodiff/tape.h"
 #include "common/rng.h"
 #include "nn/optim.h"
+#include "qsim/backend.h"
 
 namespace sqvae::models {
 
@@ -61,6 +62,12 @@ class Autoencoder {
   virtual std::vector<ad::Parameter*> quantum_parameters() = 0;
   /// Parameters of classical layers.
   virtual std::vector<ad::Parameter*> classical_parameters() = 0;
+
+  /// Switches the simulation regime of every quantum layer in the model
+  /// (exact statevector, noise trajectories, or finite shots — see
+  /// qsim/backend.h). No-op for purely classical models, so experiments can
+  /// set options uniformly across the autoencoder zoo.
+  virtual void set_simulation_options(const qsim::SimulationOptions&) {}
 
   // ---- derived functionality -------------------------------------------
 

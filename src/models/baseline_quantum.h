@@ -29,6 +29,8 @@ struct BaselineQuantumConfig {
   int entangling_layers = 3;
   bool hybrid = false;       // H-BQ: latent FC + output FC
   bool generative = false;   // VAE: (mu, logvar) heads + reparameterisation
+  /// Simulation regime of both circuit layers (see qsim/backend.h).
+  qsim::SimulationOptions sim{};
 
   int num_qubits() const;
 };
@@ -47,6 +49,7 @@ class BaselineQuantumAutoencoder final : public Autoencoder {
   bool is_generative() const override { return config_.generative; }
   std::vector<ad::Parameter*> quantum_parameters() override;
   std::vector<ad::Parameter*> classical_parameters() override;
+  void set_simulation_options(const qsim::SimulationOptions& sim) override;
 
   /// Encoder-only pass: input batch -> latent batch (tests, examples).
   Var encode(Tape& tape, Var input);

@@ -45,6 +45,7 @@ QuantumLayer::QuantumLayer(const QuantumLayerConfig& config, sqvae::Rng& rng)
       weight_slot_offset_(weight_offset_for(config)),
       circuit_(build_circuit(config)),
       executor_(circuit_),
+      backend_(qsim::SimulationBackend::create(config.sim)),
       weights_(init_weights(
           Circuit::entangling_layer_param_count(config.num_qubits,
                                                 config.entangling_layers),
@@ -83,11 +84,10 @@ Statevector QuantumLayer::initial_state(
   return Statevector(config_.num_qubits);
 }
 
-std::vector<double> QuantumLayer::measure(const Statevector& state) const {
-  if (config_.output == QuantumLayerConfig::OutputMode::kExpectationZ) {
-    return qsim::expectations_z(state);
-  }
-  return state.probabilities();
+void QuantumLayer::set_simulation_options(
+    const qsim::SimulationOptions& options) {
+  config_.sim = options;
+  backend_ = qsim::SimulationBackend::create(options);
 }
 
 Matrix QuantumLayer::forward_values(const Matrix& input) const {
@@ -95,20 +95,24 @@ Matrix QuantumLayer::forward_values(const Matrix& input) const {
   const std::size_t batch = input.rows();
 
   // Assemble per-sample slot vectors and initial states, then advance the
-  // whole mini-batch through the compiled plan in one call.
+  // whole mini-batch through the configured backend (exact statevector,
+  // noise trajectories, or shot sampling — all share the compiled plan).
   std::vector<std::vector<double>> slots(batch);
-  std::vector<Statevector> states;
-  states.reserve(batch);
+  std::vector<Statevector> initials;
+  initials.reserve(batch);
   for (std::size_t r = 0; r < batch; ++r) {
     const std::vector<double> row = input.row(r);
     slots[r] = slot_values(row);
-    states.push_back(initial_state(row));
+    initials.push_back(initial_state(row));
   }
-  executor_.run_batch(slots, states);
+  const std::vector<std::vector<double>> measured =
+      config_.output == QuantumLayerConfig::OutputMode::kExpectationZ
+          ? backend_->expectations_z_batch(executor_, slots, initials)
+          : backend_->probabilities_batch(executor_, slots, initials);
 
   Matrix out(batch, static_cast<std::size_t>(output_dim()));
   for (std::size_t r = 0; r < batch; ++r) {
-    const std::vector<double> y = measure(states[r]);
+    const std::vector<double>& y = measured[r];
     for (std::size_t c = 0; c < y.size(); ++c) out(r, c) = y[c];
   }
   return out;

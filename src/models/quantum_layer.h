@@ -21,8 +21,11 @@
 // paper's quantum parameter range.
 #pragma once
 
+#include <memory>
+
 #include "autodiff/tape.h"
 #include "common/rng.h"
+#include "qsim/backend.h"
 #include "qsim/circuit.h"
 #include "qsim/executor.h"
 
@@ -47,6 +50,12 @@ struct QuantumLayerConfig {
   /// Input feature count. For kAngle this must equal num_qubits; for
   /// kAmplitude it may be any value <= 2^num_qubits (zero-padded).
   int input_dim = 4;
+
+  /// Which simulation regime the layer's measurements run under: exact
+  /// statevector (default), Monte-Carlo noise trajectories, or finite
+  /// measurement shots. Gradients always use the exact adjoint path; see
+  /// qsim/backend.h.
+  qsim::SimulationOptions sim{};
 };
 
 class QuantumLayer {
@@ -69,12 +78,19 @@ class QuantumLayer {
   /// and adjoint pass of this layer runs through.
   const qsim::CircuitExecutor& executor() const { return executor_; }
 
+  /// The measurement backend the layer's forward passes run through.
+  const qsim::SimulationBackend& backend() const { return *backend_; }
+
+  /// Switches the simulation regime in place (e.g. train exactly, evaluate
+  /// under shot noise). Replaces the backend, so stochastic streams restart
+  /// from the new options' seed.
+  void set_simulation_options(const qsim::SimulationOptions& options);
+
  private:
   /// Assembles the full slot vector for one sample (angle mode prepends the
   /// input angles to the weights) and the initial state.
   std::vector<double> slot_values(const std::vector<double>& input_row) const;
   qsim::Statevector initial_state(const std::vector<double>& input_row) const;
-  std::vector<double> measure(const qsim::Statevector& state) const;
 
   QuantumLayerConfig config_;
   // Angle mode: embedding inputs occupy slots [0, num_qubits); weights
@@ -83,6 +99,9 @@ class QuantumLayer {
   int weight_slot_offset_ = 0;
   qsim::Circuit circuit_;
   qsim::CircuitExecutor executor_;  // compiled from circuit_, kept in sync
+  // Measurement backend built from config_.sim; all forward measurements
+  // (exact, trajectory-noisy, or shot-sampled) route through it.
+  std::unique_ptr<qsim::SimulationBackend> backend_;
   ad::Parameter weights_;
 };
 

@@ -16,23 +16,36 @@ int log2_exact(std::size_t v) {
   return k;
 }
 
-QuantumLayerConfig patch_encoder_config(const ScalableQuantumConfig& c) {
+/// Per-patch stream decorrelation: encoder patch p is layer 2p, decoder
+/// patch p is layer 2p+1 in derive_layer_options' index space, so one
+/// model-level SimulationOptions drives all patches without replaying
+/// identical noise.
+qsim::SimulationOptions patch_sim(const qsim::SimulationOptions& sim,
+                                  std::uint64_t layer_index) {
+  return qsim::derive_layer_options(sim, layer_index);
+}
+
+QuantumLayerConfig patch_encoder_config(const ScalableQuantumConfig& c,
+                                        int patch) {
   QuantumLayerConfig q;
   q.num_qubits = c.qubits_per_patch();
   q.entangling_layers = c.entangling_layers;
   q.input = QuantumLayerConfig::InputMode::kAmplitude;
   q.output = QuantumLayerConfig::OutputMode::kExpectationZ;
   q.input_dim = static_cast<int>(c.input_dim / static_cast<std::size_t>(c.patches));
+  q.sim = patch_sim(c.sim, 2 * static_cast<std::uint64_t>(patch));
   return q;
 }
 
-QuantumLayerConfig patch_decoder_config(const ScalableQuantumConfig& c) {
+QuantumLayerConfig patch_decoder_config(const ScalableQuantumConfig& c,
+                                        int patch) {
   QuantumLayerConfig q;
   q.num_qubits = c.qubits_per_patch();
   q.entangling_layers = c.entangling_layers;
   q.input = QuantumLayerConfig::InputMode::kAngle;
   q.output = QuantumLayerConfig::OutputMode::kExpectationZ;
   q.input_dim = c.qubits_per_patch();
+  q.sim = patch_sim(c.sim, 2 * static_cast<std::uint64_t>(patch) + 1);
   return q;
 }
 
@@ -68,8 +81,8 @@ ScalableQuantumAutoencoder::ScalableQuantumAutoencoder(
   encoder_patches_.reserve(static_cast<std::size_t>(config.patches));
   decoder_patches_.reserve(static_cast<std::size_t>(config.patches));
   for (int p = 0; p < config.patches; ++p) {
-    encoder_patches_.emplace_back(patch_encoder_config(config), rng);
-    decoder_patches_.emplace_back(patch_decoder_config(config), rng);
+    encoder_patches_.emplace_back(patch_encoder_config(config, p), rng);
+    decoder_patches_.emplace_back(patch_decoder_config(config, p), rng);
   }
   if (config.generative) {
     mu_head_ =
@@ -127,6 +140,17 @@ std::vector<ad::Parameter*> ScalableQuantumAutoencoder::quantum_parameters() {
   for (QuantumLayer& l : encoder_patches_) out.push_back(&l.weights());
   for (QuantumLayer& l : decoder_patches_) out.push_back(&l.weights());
   return out;
+}
+
+void ScalableQuantumAutoencoder::set_simulation_options(
+    const qsim::SimulationOptions& sim) {
+  config_.sim = sim;
+  for (std::size_t p = 0; p < encoder_patches_.size(); ++p) {
+    encoder_patches_[p].set_simulation_options(
+        patch_sim(sim, 2 * static_cast<std::uint64_t>(p)));
+    decoder_patches_[p].set_simulation_options(
+        patch_sim(sim, 2 * static_cast<std::uint64_t>(p) + 1));
+  }
 }
 
 std::vector<ad::Parameter*>

@@ -28,6 +28,9 @@ struct ScalableQuantumConfig {
   int patches = 8;
   int entangling_layers = 5;  // Fig. 6's selected depth
   bool generative = false;    // SQ-VAE
+  /// Simulation regime of every patch circuit (see qsim/backend.h); each
+  /// patch derives a decorrelated stream from this seed.
+  qsim::SimulationOptions sim{};
 
   /// Qubits per patch: log2(input_dim / patches); input_dim must be
   /// divisible by patches with a power-of-two quotient.
@@ -52,6 +55,7 @@ class ScalableQuantumAutoencoder final : public Autoencoder {
   bool is_generative() const override { return config_.generative; }
   std::vector<ad::Parameter*> quantum_parameters() override;
   std::vector<ad::Parameter*> classical_parameters() override;
+  void set_simulation_options(const qsim::SimulationOptions& sim) override;
 
   /// Encoder pass (patched embedding + measurements + encoder FC).
   Var encode(Tape& tape, Var input);

@@ -41,6 +41,9 @@ std::vector<EpochStats> Trainer::fit(const Matrix& train, const Matrix* test,
                                      sqvae::Rng& rng,
                                      const EpochCallback& callback) {
   model_.set_kl_weight(config_.kl_weight);
+  if (config_.sim.has_value()) {
+    model_.set_simulation_options(*config_.sim);
+  }
   const std::vector<nn::ParamGroup> groups =
       model_.param_groups(config_.quantum_lr, config_.classical_lr);
   nn::Adam optimizer(groups);

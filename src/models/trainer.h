@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "models/autoencoder.h"
@@ -24,6 +25,11 @@ struct TrainConfig {
   /// Per-epoch multiplicative learning-rate decay; 1 keeps the paper's
   /// constant schedule.
   double lr_decay = 1.0;
+  /// When set, fit() switches the model's quantum layers to this simulation
+  /// regime (exact / noise trajectories / finite shots — see qsim/backend.h)
+  /// before training, so one experiment config selects the regime end to
+  /// end. Unset leaves the model's current backends untouched.
+  std::optional<qsim::SimulationOptions> sim{};
 };
 
 struct EpochStats {

@@ -136,6 +136,23 @@ void CircuitExecutor::execute(const std::vector<Mat2>& matrices,
   }
 }
 
+void CircuitExecutor::bind_ops(const std::vector<double>& params,
+                               std::vector<Mat2>& matrices) const {
+  matrices.resize(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const GateOp& op = ops_[i];
+    switch (op.kind) {
+      case GateKind::kCNOT:
+      case GateKind::kCZ:
+      case GateKind::kSWAP:
+        break;  // specialised kernels, no matrix
+      default:
+        matrices[i] = gate_matrix(op.kind, resolve(op.param, params));
+        break;
+    }
+  }
+}
+
 void CircuitExecutor::run(const std::vector<double>& params,
                           Statevector& state) const {
   assert(static_cast<int>(params.size()) >= num_param_slots_);

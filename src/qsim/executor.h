@@ -47,6 +47,10 @@ class CircuitExecutor {
   std::size_t num_plan_ops() const { return plan_.size(); }
   /// Original gate count, for fusion-ratio reporting.
   std::size_t num_circuit_ops() const { return ops_.size(); }
+  /// The executor's copy of the original gate list. Engines that interleave
+  /// per-gate work with circuit execution (the trajectory backend inserts
+  /// stochastic Pauli errors between gates) walk this alongside bind_ops().
+  const std::vector<GateOp>& ops() const { return ops_; }
 
   /// Runs the fused plan on `state` in place. Equivalent (up to float
   /// round-off) to qsim::run(circuit, params, state).
@@ -59,6 +63,14 @@ class CircuitExecutor {
   /// over the batch. Sizes must match.
   void run_batch(const std::vector<std::vector<double>>& params_batch,
                  std::vector<Statevector>& states) const;
+
+  /// Binds the 2x2 matrix of every *original* gate op under `params` into
+  /// `matrices` (indexed like ops(); CNOT/CZ/SWAP entries are untouched —
+  /// they use specialised kernels). This is the per-parameter-set half of
+  /// the plan that stochastic engines share: bound once, the matrices are
+  /// reused by every Monte-Carlo trajectory of that sample.
+  void bind_ops(const std::vector<double>& params,
+                std::vector<Mat2>& matrices) const;
 
   /// One adjoint sweep per sample (see adjoint.h): returns the expectation
   /// value, per-slot gradients, and initial-state cotangent for each sample.

@@ -6,22 +6,19 @@
 
 namespace sqvae::qsim {
 
+const Mat2& random_pauli(sqvae::Rng& rng) {
+  static const Mat2 kPauli[3] = {gate_matrix(GateKind::kX, 0.0),
+                                 gate_matrix(GateKind::kY, 0.0),
+                                 gate_matrix(GateKind::kZ, 0.0)};
+  return kPauli[rng.uniform_int(0, 2)];
+}
+
 namespace {
 
 void maybe_pauli_error(Statevector& state, int qubit, double p,
                        sqvae::Rng& rng) {
   if (p <= 0.0 || !rng.bernoulli(p)) return;
-  switch (rng.uniform_int(0, 2)) {
-    case 0:
-      state.apply_single(gate_matrix(GateKind::kX, 0.0), qubit);
-      break;
-    case 1:
-      state.apply_single(gate_matrix(GateKind::kY, 0.0), qubit);
-      break;
-    default:
-      state.apply_single(gate_matrix(GateKind::kZ, 0.0), qubit);
-      break;
-  }
+  state.apply_single(random_pauli(rng), qubit);
 }
 
 }  // namespace

@@ -7,6 +7,12 @@
 // pure-state trajectories. Averaging M trajectories converges to the
 // density-matrix result with O(1/sqrt(M)) error while keeping statevector
 // cost, the standard trade-off for simulating noise at this scale.
+//
+// The functions below are the simple per-gate reference interpreter. The
+// production path is TrajectoryBackend (qsim/backend.h), which computes the
+// same estimator through the executor's pre-bound plan with snapshot reuse
+// and geometric error-pattern sampling — orders of magnitude faster at the
+// same statistics; qsim_backend_test.cpp pins the two together.
 #pragma once
 
 #include "common/rng.h"
@@ -19,6 +25,12 @@ struct NoiseModel {
   /// qubit the gate touches. 0 disables noise.
   double gate_error = 0.0;
 };
+
+/// Uniformly random Pauli matrix (X, Y, or Z with probability 1/3 each) —
+/// the single draw that unravels the depolarizing channel. Shared by the
+/// reference interpreter below and the trajectory backend (qsim/backend.h)
+/// so both always sample the *same* channel definition.
+const Mat2& random_pauli(sqvae::Rng& rng);
 
 /// Runs the circuit with stochastic Pauli errors (one trajectory).
 void run_noisy(const Circuit& circuit, const std::vector<double>& params,

@@ -407,7 +407,13 @@ void Tape::backward(Var loss) {
     if (!n.needs_grad) continue;
     ensure_grad(Var{static_cast<int>(i - 1)});
     if (n.backward) n.backward(*this);
-    if (n.param != nullptr) n.param->grad += n.grad;
+    if (n.param != nullptr) {
+      if (grad_sink_ != nullptr) {
+        grad_sink_->accumulate(n.param, n.grad);
+      } else {
+        n.param->grad += n.grad;
+      }
+    }
   }
 }
 

@@ -39,6 +39,18 @@ struct Parameter {
 
 class Tape;
 
+/// Destination for Parameter-leaf gradients during Tape::backward(). By
+/// default leaves accumulate into their Parameter::grad (shared, mutable);
+/// a sink redirects that accumulation so several tapes can backpropagate
+/// through the *same* parameters concurrently, each into private buffers —
+/// the mechanism behind the data-parallel trainer's per-thread gradients.
+class GradSink {
+ public:
+  virtual ~GradSink() = default;
+  /// Called once per parameter leaf with that leaf's full gradient.
+  virtual void accumulate(Parameter* p, const Matrix& grad) = 0;
+};
+
 /// Lightweight handle to a tape node. Valid only for the tape that created
 /// it and only until that tape is cleared.
 struct Var {
@@ -111,8 +123,14 @@ class Tape {
   std::size_t num_nodes() const { return nodes_.size(); }
 
   /// Reverse sweep from a scalar (1x1) node. Parameter leaves accumulate
-  /// into their Parameter::grad.
+  /// into their Parameter::grad, or into the installed GradSink when one is
+  /// set.
   void backward(Var loss);
+
+  /// Redirects parameter-leaf accumulation in backward() to `sink`
+  /// (nullptr restores the default Parameter::grad accumulation). The sink
+  /// must outlive every subsequent backward() call.
+  void set_grad_sink(GradSink* sink) { grad_sink_ = sink; }
 
  private:
   struct Node {
@@ -129,6 +147,7 @@ class Tape {
   void ensure_grad(Var v);
 
   std::vector<Node> nodes_;
+  GradSink* grad_sink_ = nullptr;
 };
 
 }  // namespace sqvae::ad

@@ -1,0 +1,25 @@
+// Whitespace-token double parsing that accepts the full output range of
+// operator<<, including the non-finite spellings ("nan", "-nan", "inf",
+// "-inf") that std::num_get rejects. Checkpoints of a diverged run (NaN
+// losses, inf Adam moments) must still round-trip — a save that can never
+// be loaded again is worse than no save.
+#pragma once
+
+#include <cstdlib>
+#include <istream>
+#include <string>
+
+namespace sqvae {
+
+/// Reads one whitespace-delimited token and converts it with strtod.
+/// Returns false (leaving `out` unspecified) on stream failure or when the
+/// token is not entirely a number.
+inline bool parse_double(std::istream& in, double& out) {
+  std::string token;
+  if (!(in >> token) || token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace sqvae

@@ -111,4 +111,25 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng((*this)()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  // Two SplitMix64 avalanche rounds fold (a, b) into the seed; each input
+  // is pre-multiplied by a distinct odd constant so (a, b) and (b, a) land
+  // in unrelated streams.
+  std::uint64_t x = seed;
+  x = splitmix64(x) ^ (a * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull);
+  x = splitmix64(x) ^ (b * 0x94d049bb133111ebull + 0xd6e8feb86659fd93ull);
+  return Rng(splitmix64(x));
+}
+
+Rng::State Rng::state() const {
+  return State{state_hi_, state_lo_, cached_normal_, has_cached_normal_};
+}
+
+void Rng::set_state(const State& s) {
+  state_hi_ = s.state_hi;
+  state_lo_ = s.state_lo;
+  cached_normal_ = s.cached_normal;
+  has_cached_normal_ = s.has_cached_normal;
+}
+
 }  // namespace sqvae

@@ -77,6 +77,26 @@ class Rng {
   /// own stream while keeping a single top-level seed.
   Rng split();
 
+  /// Derives the generator of an independent stream fully determined by
+  /// (seed, a, b) — no shared mutable state, so streams can be recreated in
+  /// any order on any thread. The data-parallel trainer keys per-sample
+  /// reparameterisation noise as stream(noise_seed, epoch, sample_row),
+  /// which is what makes its results independent of how samples are
+  /// assigned to OpenMP threads.
+  static Rng stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+  /// Complete generator state. Checkpoints persist it so a resumed training
+  /// run continues the exact random sequence of the interrupted one
+  /// (including the Box-Muller half-pair cache).
+  struct State {
+    std::uint64_t state_hi = 0;
+    std::uint64_t state_lo = 0;
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& s);
+
  private:
   std::uint64_t state_hi_;
   std::uint64_t state_lo_;

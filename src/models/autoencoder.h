@@ -69,6 +69,13 @@ class Autoencoder {
   /// set options uniformly across the autoencoder zoo.
   virtual void set_simulation_options(const qsim::SimulationOptions&) {}
 
+  /// True when any quantum layer currently measures through a stochastic
+  /// backend (noise trajectories or finite shots). Those backends advance a
+  /// shared call counter per estimate, so concurrent forward passes would
+  /// race; the data-parallel trainer checks this and serialises such
+  /// models instead of sharding them across threads.
+  virtual bool stochastic_forward() const { return false; }
+
   // ---- derived functionality -------------------------------------------
 
   /// Weight on the KL term of generative losses (loss = MSE + kl_weight*KL).

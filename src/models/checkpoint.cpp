@@ -1,9 +1,13 @@
 #include "models/checkpoint.h"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <optional>
 #include <sstream>
+
+#include "common/parse.h"
 
 namespace sqvae::models {
 
@@ -15,12 +19,17 @@ std::vector<ad::Parameter*> all_parameters(Autoencoder& model) {
   return params;
 }
 
-}  // namespace
+/// True when only whitespace remains on `in` — a checkpoint with trailing
+/// garbage (truncated tail of a concatenated file, stray bytes) must not
+/// load as if it were complete.
+bool at_clean_end(std::istream& in) {
+  in >> std::ws;
+  return in.eof() || in.peek() == std::char_traits<char>::eof();
+}
 
-std::string checkpoint_to_text(Autoencoder& model) {
-  const auto params = all_parameters(model);
-  std::ostringstream os;
-  os << "sqvae-checkpoint 1\n" << params.size() << '\n';
+void write_parameters(std::ostream& os,
+                      const std::vector<ad::Parameter*>& params) {
+  os << params.size() << '\n';
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const ad::Parameter* p : params) {
     os << p->value.rows() << ' ' << p->value.cols();
@@ -29,6 +38,46 @@ std::string checkpoint_to_text(Autoencoder& model) {
     }
     os << '\n';
   }
+}
+
+/// Parses the parameter block into staging storage; the model is only
+/// mutated by commit_parameters() once the whole checkpoint is consistent.
+bool read_parameters(std::istream& in,
+                     const std::vector<ad::Parameter*>& params,
+                     std::vector<Matrix>& staged) {
+  std::size_t count = 0;
+  if (!(in >> count)) return false;
+  if (count != params.size()) return false;
+  staged.clear();
+  staged.reserve(count);
+  for (ad::Parameter* p : params) {
+    std::size_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols)) return false;
+    if (rows != p->value.rows() || cols != p->value.cols()) return false;
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (!parse_double(in, m[i])) return false;
+    }
+    staged.push_back(std::move(m));
+  }
+  return true;
+}
+
+void commit_parameters(const std::vector<ad::Parameter*>& params,
+                       std::vector<Matrix>& staged) {
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    params[k]->value = std::move(staged[k]);
+    params[k]->zero_grad();
+  }
+}
+
+}  // namespace
+
+std::string checkpoint_to_text(Autoencoder& model) {
+  const auto params = all_parameters(model);
+  std::ostringstream os;
+  os << "sqvae-checkpoint 1\n";
+  write_parameters(os, params);
   return os.str();
 }
 
@@ -40,37 +89,129 @@ bool checkpoint_from_text(const std::string& text, Autoencoder& model) {
       version != 1) {
     return false;
   }
-  std::size_t count = 0;
-  if (!(in >> count)) return false;
   const auto params = all_parameters(model);
-  if (count != params.size()) return false;
-
-  // Parse into staging storage first: the model is only mutated when the
-  // whole checkpoint is consistent.
   std::vector<Matrix> staged;
-  staged.reserve(count);
-  for (ad::Parameter* p : params) {
-    std::size_t rows = 0, cols = 0;
-    if (!(in >> rows >> cols)) return false;
-    if (rows != p->value.rows() || cols != p->value.cols()) return false;
-    Matrix m(rows, cols);
-    for (std::size_t i = 0; i < m.size(); ++i) {
-      if (!(in >> m[i])) return false;
-    }
-    staged.push_back(std::move(m));
+  if (!read_parameters(in, params, staged)) return false;
+  if (!at_clean_end(in)) return false;
+  commit_parameters(params, staged);
+  return true;
+}
+
+std::string checkpoint_to_text_v2(Autoencoder& model,
+                                  const TrainState& state) {
+  const auto params = all_parameters(model);
+  std::ostringstream os;
+  os << "sqvae-checkpoint 2\n";
+  write_parameters(os, params);
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "epoch " << state.next_epoch << '\n';
+  os << "best " << (state.has_best ? 1 : 0) << ' ' << state.best_epoch << ' '
+     << state.best_metric << ' ' << state.epochs_since_improvement << '\n';
+  os << "optimizer " << (state.optimizer != nullptr ? 1 : 0) << '\n';
+  if (state.optimizer != nullptr) state.optimizer->serialize(os);
+  os << "rng " << (state.rng != nullptr ? 1 : 0) << '\n';
+  if (state.rng != nullptr) {
+    const sqvae::Rng::State s = state.rng->state();
+    os << s.state_hi << ' ' << s.state_lo << ' ' << s.cached_normal << ' '
+       << (s.has_cached_normal ? 1 : 0) << '\n';
   }
-  for (std::size_t k = 0; k < params.size(); ++k) {
-    params[k]->value = std::move(staged[k]);
-    params[k]->zero_grad();
+  return os.str();
+}
+
+bool checkpoint_from_text_v2(const std::string& text, Autoencoder& model,
+                             TrainState& state) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "sqvae-checkpoint" ||
+      version != 2) {
+    return false;
+  }
+  const auto params = all_parameters(model);
+  std::vector<Matrix> staged;
+  if (!read_parameters(in, params, staged)) return false;
+
+  std::string tag;
+  TrainState parsed = state;  // keeps the optimizer/rng attachments
+  if (!(in >> tag >> parsed.next_epoch) || tag != "epoch") return false;
+  int has_best = 0;
+  if (!(in >> tag >> has_best >> parsed.best_epoch) || tag != "best" ||
+      (has_best != 0 && has_best != 1) ||
+      !parse_double(in, parsed.best_metric) ||
+      !(in >> parsed.epochs_since_improvement)) {
+    return false;
+  }
+  parsed.has_best = has_best == 1;
+
+  // Optimizer block: staged in a scratch copy so a later failure leaves the
+  // attached optimizer untouched.
+  int has_optimizer = 0;
+  if (!(in >> tag >> has_optimizer) || tag != "optimizer" ||
+      (has_optimizer != 0 && has_optimizer != 1)) {
+    return false;
+  }
+  std::optional<nn::Adam> staged_optimizer;
+  if (has_optimizer == 1) {
+    if (state.optimizer == nullptr) return false;
+    staged_optimizer.emplace(*state.optimizer);
+    if (!staged_optimizer->deserialize(in)) return false;
+  }
+
+  int has_rng = 0;
+  if (!(in >> tag >> has_rng) || tag != "rng" ||
+      (has_rng != 0 && has_rng != 1)) {
+    return false;
+  }
+  bool restore_rng = false;
+  sqvae::Rng::State rng_state;
+  if (has_rng == 1) {
+    if (state.rng == nullptr) return false;
+    int has_cached = 0;
+    if (!(in >> rng_state.state_hi >> rng_state.state_lo) ||
+        !parse_double(in, rng_state.cached_normal) || !(in >> has_cached) ||
+        (has_cached != 0 && has_cached != 1)) {
+      return false;
+    }
+    rng_state.has_cached_normal = has_cached == 1;
+    restore_rng = true;
+  }
+
+  if (!at_clean_end(in)) return false;
+
+  commit_parameters(params, staged);
+  if (staged_optimizer.has_value()) {
+    *state.optimizer = std::move(*staged_optimizer);
+  }
+  if (restore_rng) state.rng->set_state(rng_state);
+  state.next_epoch = parsed.next_epoch;
+  state.has_best = parsed.has_best;
+  state.best_epoch = parsed.best_epoch;
+  state.best_metric = parsed.best_metric;
+  state.epochs_since_improvement = parsed.epochs_since_improvement;
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) return false;
+    f << text;
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
   }
   return true;
 }
 
 bool save_checkpoint(Autoencoder& model, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << checkpoint_to_text(model);
-  return static_cast<bool>(f);
+  return write_file_atomic(path, checkpoint_to_text(model));
 }
 
 bool load_checkpoint(const std::string& path, Autoencoder& model) {
@@ -79,6 +220,20 @@ bool load_checkpoint(const std::string& path, Autoencoder& model) {
   std::ostringstream buffer;
   buffer << f.rdbuf();
   return checkpoint_from_text(buffer.str(), model);
+}
+
+bool save_train_checkpoint(const std::string& path, Autoencoder& model,
+                           const TrainState& state) {
+  return write_file_atomic(path, checkpoint_to_text_v2(model, state));
+}
+
+bool load_train_checkpoint(const std::string& path, Autoencoder& model,
+                           TrainState& state) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return checkpoint_from_text_v2(buffer.str(), model, state);
 }
 
 }  // namespace sqvae::models

@@ -2,30 +2,90 @@
 // the zoo (every trainable value lives in ad::Parameter objects exposed by
 // quantum_parameters() + classical_parameters()).
 //
-// Format: a small text header ("sqvae-checkpoint 1", parameter count),
-// then one line per parameter with its shape and row-major values printed
-// with max_digits10 so a save/load round trip is bit-exact for doubles.
-// Loading validates the shape sequence against the target model, so
-// restoring into a differently configured model fails loudly.
+// Two text formats:
+//
+//   v1 ("sqvae-checkpoint 1") — parameter values only: a header with the
+//   parameter count, then one line per parameter with its shape and
+//   row-major values printed with max_digits10 so a save/load round trip
+//   is bit-exact for doubles.
+//
+//   v2 ("sqvae-checkpoint 2") — full training state for exact resume: the
+//   v1 parameter block plus the epoch cursor, best-model tracking
+//   counters, the complete Adam state (per-group learning rates and m/v
+//   moments, step count — see nn::Adam::serialize), and the training Rng
+//   state. Restoring a v2 checkpoint makes a resumed Trainer::fit
+//   bit-equivalent to a run that was never interrupted (for exact-
+//   statevector training; stochastic measurement backends restart their
+//   noise streams — see trainer.h).
+//
+// Loading validates the shape sequence against the target model and
+// rejects any non-whitespace trailing content (truncated or concatenated
+// files fail loudly instead of loading silently). On any error the target
+// objects are left untouched.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "autodiff/tape.h"
+#include "common/rng.h"
 #include "models/autoencoder.h"
+#include "nn/optim.h"
 
 namespace sqvae::models {
 
-/// Serialises parameters in order (quantum first, then classical).
+/// Training-loop state carried by a v2 checkpoint alongside the model
+/// parameters. `optimizer` and `rng` are optional attachments: when
+/// non-null they are serialised on save and restored on load; a null
+/// pointer writes (or skips) an empty block.
+struct TrainState {
+  /// Next epoch index to run (an interrupted run resumes here).
+  std::size_t next_epoch = 0;
+
+  nn::Adam* optimizer = nullptr;
+  sqvae::Rng* rng = nullptr;
+
+  // Best-model tracking (see TrainConfig): the monitored metric's best
+  // value so far and the early-stopping counter.
+  bool has_best = false;
+  std::size_t best_epoch = 0;
+  double best_metric = 0.0;
+  std::size_t epochs_since_improvement = 0;
+};
+
+/// Serialises parameters in order (quantum first, then classical). v1.
 std::string checkpoint_to_text(Autoencoder& model);
 
-/// Restores parameters from text into `model`. Returns false (leaving the
-/// model untouched) on a header/shape/count mismatch or parse error.
+/// Restores parameters from v1 text into `model`. Returns false (leaving
+/// the model untouched) on a header/shape/count mismatch, parse error, or
+/// trailing garbage.
 bool checkpoint_from_text(const std::string& text, Autoencoder& model);
 
-/// File convenience wrappers.
+/// Serialises parameters plus training state (checkpoint v2).
+std::string checkpoint_to_text_v2(Autoencoder& model, const TrainState& state);
+
+/// Restores a v2 checkpoint into `model` and `state` (including
+/// *state.optimizer / *state.rng when those pointers are set). All-or-
+/// nothing: on failure every target is left untouched. A v2 file whose
+/// optimizer/rng blocks are empty leaves the attached objects unchanged.
+bool checkpoint_from_text_v2(const std::string& text, Autoencoder& model,
+                             TrainState& state);
+
+/// Writes `text` to `path` via a sibling temp file + rename, so a kill or
+/// write error mid-save never destroys an existing good file. Used by
+/// every checkpoint save; exposed for other writers of resume-critical
+/// files.
+bool write_file_atomic(const std::string& path, const std::string& text);
+
+/// File convenience wrappers (v1).
 bool save_checkpoint(Autoencoder& model, const std::string& path);
 bool load_checkpoint(const std::string& path, Autoencoder& model);
+
+/// File convenience wrappers (v2).
+bool save_train_checkpoint(const std::string& path, Autoencoder& model,
+                           const TrainState& state);
+bool load_train_checkpoint(const std::string& path, Autoencoder& model,
+                           TrainState& state);
 
 }  // namespace sqvae::models

@@ -31,11 +31,15 @@ ExtendedMetrics evaluate_extended_molecules(
 
   for (const chem::Molecule& mol : molecules) {
     if (mol.empty()) continue;
-    ++m.valid;
+    // Validity means the molecule survives a SMILES round trip: a sample
+    // that cannot be canonicalised (e.g. multiple fragments) must not
+    // count towards `valid` while being excluded from uniqueness/novelty —
+    // that mismatch of denominators would inflate every per-valid rate.
     const auto smiles = chem::to_smiles(mol);
-    bool is_new_unique = false;
-    if (smiles) is_new_unique = unique_smiles.insert(*smiles).second;
-    if (is_new_unique && smiles && !train_smiles.count(*smiles)) ++novel;
+    if (!smiles) continue;
+    ++m.valid;
+    const bool is_new_unique = unique_smiles.insert(*smiles).second;
+    if (is_new_unique && !train_smiles.count(*smiles)) ++novel;
 
     const chem::Fingerprint fp = chem::morgan_fingerprint(mol);
     distance_sum += 1.0 - chem::nearest_similarity(fp, train_fps);

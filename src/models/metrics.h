@@ -18,6 +18,8 @@ namespace sqvae::models {
 
 struct ExtendedMetrics {
   std::size_t requested = 0;
+  /// Non-empty samples with a canonical SMILES (round-trip valid) — the
+  /// shared denominator of every per-valid rate below.
   std::size_t valid = 0;
   std::size_t unique = 0;
   /// Fraction of unique valid molecules absent from the training set

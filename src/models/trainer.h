@@ -1,12 +1,47 @@
-// Training loop shared by every experiment.
+// Training engine shared by every experiment.
 //
 // Implements the paper's protocol (Section IV-B): Adam with beta1 = 0.9,
 // beta2 = 0.999, mini-batches of 32, 20 epochs by default, and separate
 // quantum/classical learning-rate groups for the heterogeneous-LR study.
+//
+// Two epoch engines:
+//
+//   * data-parallel (default) — every mini-batch is sharded across OpenMP
+//     threads at sample granularity: each sample builds its own ad::Tape
+//     and backpropagates into a private gradient buffer (ad::GradSink), so
+//     threads never touch shared Parameter::grad. Per-sample
+//     reparameterisation noise comes from stateless streams keyed by
+//     (noise_seed, epoch, dataset row) — Rng::stream — and the per-sample
+//     gradients are reduced in fixed sample order after the parallel
+//     region. Both choices make the math independent of the thread count:
+//     training is bit-identical at 1 and N threads. Models whose quantum
+//     layers measure through a stochastic backend
+//     (Autoencoder::stochastic_forward) are automatically run at 1 thread,
+//     because those backends advance a shared call counter per estimate.
+//
+//   * serial (data_parallel = false) — the legacy one-tape-per-batch loop,
+//     kept as the A/B baseline for bench_train_micro and for models that
+//     want batch-level reparameterisation draws from the caller's Rng.
+//
+// Both engines weight epoch statistics by *sample* count, so a final short
+// batch no longer skews the reported means.
+//
+// Checkpoint/resume: with `checkpoint_path` set, fit() writes a v2
+// checkpoint (parameters + Adam moments + LR positions + epoch cursor +
+// Rng state, see models/checkpoint.h) every `checkpoint_every` epochs, and
+// with `resume = true` continues from it such that the resumed run is
+// bit-equivalent to one that was never interrupted. Caveat: the guarantee
+// covers exact-statevector training (the default). Stochastic measurement
+// backends (trajectory/shots) keep a per-backend call counter that is not
+// checkpointed — fit() rebuilds them from SimulationOptions, so their
+// measurement-noise streams restart at resume; gradients (exact adjoint
+// path) and every other state are still restored exactly.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "models/autoencoder.h"
@@ -30,13 +65,45 @@ struct TrainConfig {
   /// before training, so one experiment config selects the regime end to
   /// end. Unset leaves the model's current backends untouched.
   std::optional<qsim::SimulationOptions> sim{};
+
+  // ---- data-parallel engine --------------------------------------------
+  /// False selects the legacy serial one-tape-per-batch loop.
+  bool data_parallel = true;
+  /// OpenMP threads for the data-parallel engine: 0 = all available,
+  /// 1 = serial execution of the same sharded math. Results are identical
+  /// for every value.
+  int num_threads = 0;
+  /// Base seed of the per-sample reparameterisation-noise streams used by
+  /// the data-parallel engine (sample noise = Rng::stream(noise_seed,
+  /// epoch, row)). The serial engine draws from the caller's Rng instead.
+  std::uint64_t noise_seed = 0x5eedab1e0b5eedull;
+
+  // ---- checkpoint / resume ---------------------------------------------
+  /// When non-empty, fit() saves a v2 checkpoint here every
+  /// `checkpoint_every` epochs (and always after the final epoch). The
+  /// best model so far is additionally kept at checkpoint_path + ".best".
+  std::string checkpoint_path{};
+  std::size_t checkpoint_every = 1;
+  /// Continue from `checkpoint_path` if it exists (bit-equivalent to the
+  /// uninterrupted run). A missing file starts a fresh run; a corrupt or
+  /// mismatched file throws.
+  bool resume = false;
+
+  // ---- early stopping / best-model tracking ----------------------------
+  /// Stop when the monitored metric (test MSE when a test set is given,
+  /// else training loss) has not improved by more than
+  /// `early_stop_min_delta` for this many consecutive epochs; 0 disables.
+  std::size_t early_stop_patience = 0;
+  double early_stop_min_delta = 0.0;
+  /// Restore the best-metric parameters into the model after fit().
+  bool restore_best = false;
 };
 
 struct EpochStats {
   std::size_t epoch = 0;
-  double train_loss = 0.0;  // batch-averaged total loss
-  double train_mse = 0.0;   // batch-averaged reconstruction MSE
-  double train_kl = 0.0;    // batch-averaged KL (0 for AEs)
+  double train_loss = 0.0;  // sample-weighted mean total loss
+  double train_mse = 0.0;   // sample-weighted mean reconstruction MSE
+  double train_kl = 0.0;    // sample-weighted mean KL (0 for AEs)
   double test_mse = 0.0;    // full-test-set reconstruction MSE (when given)
   double seconds = 0.0;     // wall-clock time of the epoch
 };
@@ -48,14 +115,35 @@ class Trainer {
   Trainer(Autoencoder& model, const TrainConfig& config);
 
   /// Trains on `train` (rows = samples); evaluates reconstruction MSE on
-  /// `test` after each epoch when non-null. Returns per-epoch statistics.
+  /// `test` after each epoch when non-null. Returns per-epoch statistics
+  /// (resumed runs return only the epochs they executed).
   std::vector<EpochStats> fit(const Matrix& train, const Matrix* test,
                               sqvae::Rng& rng,
                               const EpochCallback& callback = {});
 
+  /// Best-model tracking results of the last fit() call. The metric is
+  /// test MSE when a test set was given, else training loss.
+  bool has_best() const { return has_best_; }
+  std::size_t best_epoch() const { return best_epoch_; }
+  double best_metric() const { return best_metric_; }
+  /// True when restore_best actually rewound the model after the last
+  /// fit() (false when disabled, nothing tracked, or the stored best
+  /// parameters failed to load).
+  bool best_restored() const { return best_restored_; }
+
+  /// Thread count the data-parallel engine actually uses for `model`
+  /// under `config` (1 for stochastic-backend models or OpenMP-less
+  /// builds). Exposed for benches and tests.
+  static int resolve_threads(const Autoencoder& model,
+                             const TrainConfig& config);
+
  private:
   Autoencoder& model_;
   TrainConfig config_;
+  bool has_best_ = false;
+  std::size_t best_epoch_ = 0;
+  double best_metric_ = 0.0;
+  bool best_restored_ = false;
 };
 
 }  // namespace sqvae::models

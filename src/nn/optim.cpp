@@ -2,6 +2,13 @@
 
 #include <cassert>
 #include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/parse.h"
 
 namespace sqvae::nn {
 
@@ -57,6 +64,60 @@ std::size_t Adam::num_parameters() const {
     for (const Parameter* p : group.params) n += p->size();
   }
   return n;
+}
+
+void Adam::serialize(std::ostream& os) const {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "adam " << t_ << ' ' << groups_.size() << '\n';
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    os << groups_[g].lr << ' ' << groups_[g].params.size() << '\n';
+    for (std::size_t i = 0; i < groups_[g].params.size(); ++i) {
+      const State& s = state_[g][i];
+      os << s.m.rows() << ' ' << s.m.cols();
+      for (std::size_t k = 0; k < s.m.size(); ++k) os << ' ' << s.m[k];
+      for (std::size_t k = 0; k < s.v.size(); ++k) os << ' ' << s.v[k];
+      os << '\n';
+    }
+  }
+}
+
+bool Adam::deserialize(std::istream& in) {
+  std::string magic;
+  long long t = 0;
+  std::size_t num_groups = 0;
+  if (!(in >> magic >> t >> num_groups) || magic != "adam" || t < 0 ||
+      num_groups != groups_.size()) {
+    return false;
+  }
+  // Parse into staging storage; the optimizer mutates only on full success.
+  std::vector<double> lrs(num_groups);
+  std::vector<std::vector<State>> staged(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    std::size_t num_params = 0;
+    if (!parse_double(in, lrs[g]) || !(in >> num_params) ||
+        num_params != groups_[g].params.size()) {
+      return false;
+    }
+    staged[g].reserve(num_params);
+    for (std::size_t i = 0; i < num_params; ++i) {
+      std::size_t rows = 0, cols = 0;
+      if (!(in >> rows >> cols)) return false;
+      const Parameter& p = *groups_[g].params[i];
+      if (rows != p.value.rows() || cols != p.value.cols()) return false;
+      State s{Matrix(rows, cols), Matrix(rows, cols)};
+      for (std::size_t k = 0; k < s.m.size(); ++k) {
+        if (!parse_double(in, s.m[k])) return false;
+      }
+      for (std::size_t k = 0; k < s.v.size(); ++k) {
+        if (!parse_double(in, s.v[k])) return false;
+      }
+      staged[g].push_back(std::move(s));
+    }
+  }
+  t_ = t;
+  for (std::size_t g = 0; g < num_groups; ++g) groups_[g].lr = lrs[g];
+  state_ = std::move(staged);
+  return true;
 }
 
 Sgd::Sgd(std::vector<ParamGroup> groups) : groups_(std::move(groups)) {}

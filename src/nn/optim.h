@@ -6,6 +6,7 @@
 // within a single Adam instance — exactly PyTorch's param_groups mechanism.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "autodiff/tape.h"
@@ -40,6 +41,22 @@ class Adam {
 
   /// Total number of scalar parameters across all groups.
   std::size_t num_parameters() const;
+
+  /// Global step count (number of step() calls applied so far).
+  long long step_count() const { return t_; }
+
+  /// Writes the full optimizer state — step count, per-group learning
+  /// rates, and per-parameter first/second moments — as whitespace-
+  /// separated text with max_digits10 precision, so serialize/deserialize
+  /// round trips are bit-exact for doubles. Checkpoint v2 embeds this
+  /// block; a resumed run's Adam is indistinguishable from one that never
+  /// stopped.
+  void serialize(std::ostream& os) const;
+
+  /// Restores state written by serialize(). The group/parameter shape
+  /// structure must match this optimizer's; on any mismatch or parse error
+  /// the optimizer is left untouched and false is returned.
+  bool deserialize(std::istream& in);
 
  private:
   struct State {

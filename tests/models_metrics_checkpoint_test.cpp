@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
+#include "chem/smiles.h"
 #include "common/rng.h"
 #include "data/molecule_dataset.h"
 #include "models/checkpoint.h"
@@ -110,6 +113,165 @@ TEST(Checkpoint, RejectsCorruptText) {
   std::string truncated = checkpoint_to_text(model);
   truncated.resize(truncated.size() / 2);
   EXPECT_FALSE(checkpoint_from_text(truncated, model));
+}
+
+TEST(ExtendedMetrics, UnserializableMoleculeIsNotValid) {
+  // A non-empty molecule whose canonical SMILES cannot be produced (two
+  // disconnected fragments) must not count as valid: before the fix it
+  // inflated `valid` while being excluded from uniqueness/novelty, so the
+  // per-valid rates used inconsistent denominators.
+  chem::Molecule fragments;
+  fragments.add_atom(chem::Element::kC);
+  fragments.add_atom(chem::Element::kC);
+  ASSERT_FALSE(chem::to_smiles(fragments).has_value());
+
+  Rng rng(10);
+  const auto ds = data::make_qm9_like(5, 8, rng);
+  std::vector<chem::Molecule> samples = ds.molecules;
+  samples.push_back(fragments);
+
+  const ExtendedMetrics m = evaluate_extended_molecules(samples, {});
+  EXPECT_EQ(m.requested, 6u);
+  EXPECT_EQ(m.valid, 5u);  // the fragment pair is excluded everywhere
+  EXPECT_EQ(m.unique, 5u);
+  EXPECT_EQ(m.novelty, 1.0);  // all valid molecules novel vs empty train set
+
+  const ExtendedMetrics only_bad =
+      evaluate_extended_molecules({fragments}, ds.molecules);
+  EXPECT_EQ(only_bad.valid, 0u);
+  EXPECT_EQ(only_bad.unique, 0u);
+  EXPECT_EQ(only_bad.novelty, 0.0);
+  EXPECT_EQ(only_bad.scaffold_diversity, 0.0);
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  Rng rng(11);
+  ClassicalAe model(classical_config_64(4), rng);
+  const std::string text = checkpoint_to_text(model);
+  // Trailing whitespace is fine; any non-whitespace remainder is not —
+  // a truncated or concatenated file must fail instead of loading the
+  // prefix silently.
+  EXPECT_TRUE(checkpoint_from_text(text + " \n\t\n", model));
+  EXPECT_FALSE(checkpoint_from_text(text + "0.5", model));
+  EXPECT_FALSE(checkpoint_from_text(text + "\ngarbage", model));
+  EXPECT_FALSE(checkpoint_from_text(text + text, model));
+}
+
+TEST(Checkpoint, V2RoundTripsFullTrainingState) {
+  Rng rng(12);
+  ScalableQuantumConfig c;
+  c.input_dim = 64;
+  c.patches = 2;
+  c.entangling_layers = 2;
+  auto model = make_sq_vae(c, rng);
+  auto groups = model->param_groups(0.05, 0.01);
+  nn::Adam optimizer(groups);
+
+  // Take real optimizer steps so the m/v moments and step count are
+  // non-trivial, and leave the rng mid-stream with a cached normal.
+  for (int step = 0; step < 3; ++step) {
+    for (const auto& g : groups) {
+      for (ad::Parameter* p : g.params) {
+        for (std::size_t i = 0; i < p->grad.size(); ++i) {
+          p->grad[i] = 0.01 * static_cast<double>(i % 7) - 0.02;
+        }
+      }
+    }
+    optimizer.step();
+  }
+  optimizer.set_lr(0, 0.025);
+  Rng train_rng(13);
+  for (int i = 0; i < 5; ++i) train_rng.normal();
+
+  TrainState state;
+  state.next_epoch = 7;
+  state.optimizer = &optimizer;
+  state.rng = &train_rng;
+  state.has_best = true;
+  state.best_epoch = 4;
+  state.best_metric = 0.125;
+  state.epochs_since_improvement = 2;
+  const std::string text = checkpoint_to_text_v2(*model, state);
+
+  // Restore into a differently initialised twin of everything.
+  Rng rng2(777);
+  auto twin = make_sq_vae(c, rng2);
+  auto twin_groups = twin->param_groups(0.05, 0.01);
+  nn::Adam twin_optimizer(twin_groups);
+  Rng twin_rng(999);
+  TrainState loaded;
+  loaded.optimizer = &twin_optimizer;
+  loaded.rng = &twin_rng;
+  ASSERT_TRUE(checkpoint_from_text_v2(text, *twin, loaded));
+
+  EXPECT_EQ(loaded.next_epoch, 7u);
+  EXPECT_TRUE(loaded.has_best);
+  EXPECT_EQ(loaded.best_epoch, 4u);
+  EXPECT_EQ(loaded.best_metric, 0.125);
+  EXPECT_EQ(loaded.epochs_since_improvement, 2u);
+  EXPECT_EQ(twin_optimizer.step_count(), 3);
+  EXPECT_EQ(twin_optimizer.lr(0), 0.025);
+  // Re-serialising the twin reproduces the original byte-for-byte: model
+  // parameters, Adam moments, and the rng stream (the twin must continue
+  // with the exact same draws).
+  EXPECT_EQ(checkpoint_to_text_v2(*twin, loaded), text);
+  EXPECT_EQ(twin_rng(), train_rng());
+  EXPECT_EQ(twin_rng.normal(), train_rng.normal());
+
+  // Strictness: wrong version for each parser, and trailing garbage.
+  EXPECT_FALSE(checkpoint_from_text(text, *twin));
+  EXPECT_FALSE(
+      checkpoint_from_text_v2(checkpoint_to_text(*twin), *twin, loaded));
+  EXPECT_FALSE(checkpoint_from_text_v2(text + "x", *twin, loaded));
+  std::string truncated = text;
+  truncated.resize(truncated.size() - 20);
+  EXPECT_FALSE(checkpoint_from_text_v2(truncated, *twin, loaded));
+}
+
+TEST(Checkpoint, NonFiniteValuesRoundTrip) {
+  // A diverged run writes "nan"/"inf" tokens; the loader must accept them
+  // (std::num_get does not) — a checkpoint that saves but can never load
+  // again would make --resume useless exactly when diagnosing divergence.
+  Rng rng(15);
+  ClassicalAe model(classical_config_64(4), rng);
+  ad::Parameter* p = model.classical_parameters().front();
+  p->value[0] = std::numeric_limits<double>::quiet_NaN();
+  p->value[1] = std::numeric_limits<double>::infinity();
+  p->value[2] = -std::numeric_limits<double>::infinity();
+  const std::string text = checkpoint_to_text(model);
+
+  Rng rng2(16);
+  ClassicalAe twin(classical_config_64(4), rng2);
+  ASSERT_TRUE(checkpoint_from_text(text, twin));
+  const ad::Parameter* tp = twin.classical_parameters().front();
+  EXPECT_TRUE(std::isnan(tp->value[0]));
+  EXPECT_EQ(tp->value[1], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(tp->value[2], -std::numeric_limits<double>::infinity());
+
+  // Same through the v2 path with a NaN best metric.
+  TrainState state;
+  state.has_best = true;
+  state.best_metric = std::numeric_limits<double>::quiet_NaN();
+  const std::string v2 = checkpoint_to_text_v2(model, state);
+  TrainState loaded;
+  ASSERT_TRUE(checkpoint_from_text_v2(v2, twin, loaded));
+  EXPECT_TRUE(std::isnan(loaded.best_metric));
+}
+
+TEST(Checkpoint, V2FileRoundTripWithoutAttachments) {
+  // optimizer/rng are optional: a v2 checkpoint saved without them loads
+  // without them (and leaves any attached objects untouched).
+  Rng rng(14);
+  ClassicalAe model(classical_config_64(4), rng);
+  TrainState state;
+  state.next_epoch = 2;
+  const std::string path = "/tmp/sqvae_checkpoint_v2_test.txt";
+  ASSERT_TRUE(save_train_checkpoint(path, model, state));
+  TrainState loaded;
+  ASSERT_TRUE(load_train_checkpoint(path, model, loaded));
+  EXPECT_EQ(loaded.next_epoch, 2u);
+  EXPECT_FALSE(loaded.has_best);
+  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, FileRoundTrip) {

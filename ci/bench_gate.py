@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Bench regression gate (run AFTER ci/check_bench_schema.py).
+
+Usage: bench_gate.py BENCH_qsim_micro.json BENCH_train_micro.json
+
+Thresholds sit well under the checked-in numbers so only a real regression
+— not runner noise — trips them. Where a measurement is hardware-bound the
+bar tiers by the runner's core count (recorded as hardware_threads in the
+report), mirroring the exemption the training gate has always had for
+small containers:
+
+  * executor A/B (fused batch vs naive loop): both sides now run the same
+    dispatched SIMD kernels, so on a single core only the fusion win
+    remains (~1.5-2x measured); with >= 4 cores the OpenMP batch path
+    clears 2.0x with margin. Bars: >= 2.0x at >= 4 threads, else >= 1.3x.
+  * trajectory A/B at >= 8 qubits: >= 5.0x over the exact density matrix
+    (checked-in: several hundred x — the trajectory side is vectorised,
+    the density channel is not).
+  * kernel A/B: when the dispatcher picked avx2, the compute-bound classes
+    (single, single_t0, controlled, diag) must be >= 1.5x over scalar at
+    >= 8 qubits (checked-in: 2.5-10x). The move/phase-flip classes
+    (cnot/cz/swap) are memory-bound and only recorded. Scalar-only
+    runners (no AVX2, SQVAE_FORCE_SCALAR, -DSQVAE_SIMD=OFF) record the
+    A/B at ~1.0x and are exempt.
+  * dispatcher sanity: a SIMD-enabled binary on a host whose
+    /proc/cpuinfo advertises avx2+fma must NOT report scalar — that would
+    mean the runtime dispatch silently fell back and CI stopped testing
+    the vectorised path.
+  * training engine: bit-identical across thread counts everywhere;
+    sq-ae sharded speedup >= 2.0x at >= 8 cores, >= 1.5x at 4-7, exempt
+    below.
+"""
+
+import json
+import sys
+
+KERNEL_GATED_CLASSES = {"single", "single_t0", "controlled", "diag"}
+KERNEL_MIN_SPEEDUP = 1.5
+KERNEL_MIN_QUBITS = 8
+
+
+def host_has_avx2_fma():
+    try:
+        with open("/proc/cpuinfo") as f:
+            info = f.read()
+    except OSError:
+        return False  # non-Linux host: skip the dispatcher sanity check
+    flag_lines = [l for l in info.splitlines() if l.startswith("flags")]
+    if not flag_lines:
+        return False
+    flags = flag_lines[0].split()
+    return "avx2" in flags and "fma" in flags
+
+
+def gate_qsim(report, failures):
+    threads = report["hardware_threads"]
+    executor_bar = 2.0 if threads >= 4 else 1.3
+    for row in report["rows"]:
+        if row["speedup"] < executor_bar:
+            failures.append(
+                f"executor A/B at {row['qubits']} qubits: "
+                f"{row['speedup']:.2f}x < {executor_bar}x "
+                f"({threads} hardware threads)")
+    for row in report["trajectory_ab"]["rows"]:
+        if row["qubits"] >= 8 and row["speedup"] < 5.0:
+            failures.append(f"trajectory A/B at {row['qubits']} qubits: "
+                            f"{row['speedup']:.2f}x < 5.0x")
+
+    kernel = report["kernel_ab"]
+    if kernel["simd_compiled"] and kernel["isa"] != "avx2" \
+            and host_has_avx2_fma():
+        failures.append(
+            "kernel dispatcher reports scalar on an AVX2+FMA host with "
+            "SIMD compiled in — the vectorised path is not being tested")
+    if kernel["isa"] == "avx2":
+        for row in kernel["rows"]:
+            if row["gate"] in KERNEL_GATED_CLASSES \
+                    and row["qubits"] >= KERNEL_MIN_QUBITS \
+                    and row["speedup"] < KERNEL_MIN_SPEEDUP:
+                failures.append(
+                    f"kernel A/B ({row['gate']}) at {row['qubits']} qubits: "
+                    f"{row['speedup']:.2f}x < {KERNEL_MIN_SPEEDUP}x")
+    else:
+        print(f"kernel gate skipped (dispatched isa: {kernel['isa']})")
+
+
+def gate_train(report, failures):
+    for row in report["rows"]:
+        if not row["bit_identical_1t_vs_nt"]:
+            failures.append(f"sharded training not bit-identical across "
+                            f"thread counts ({row['model']})")
+    cores = report["hardware_threads"]
+    bar = 2.0 if cores >= 8 else 1.5 if cores >= 4 else None
+    if bar is not None:
+        for row in report["rows"]:
+            if row["model"] == "sq-ae" and row["speedup"] < bar:
+                failures.append(f"train A/B (sq-ae): "
+                                f"{row['speedup']:.2f}x < {bar}x at "
+                                f"{row['threads']} threads ({cores} cores)")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        qsim = json.load(f)
+    with open(argv[2]) as f:
+        train = json.load(f)
+
+    failures = []
+    gate_qsim(qsim, failures)
+    gate_train(train, failures)
+
+    for failure in failures:
+        print("REGRESSION:", failure)
+    if failures:
+        return 1
+    print("bench gate passed:",
+          "executor", [round(r["speedup"], 2) for r in qsim["rows"]],
+          "trajectory",
+          [round(r["speedup"], 2) for r in qsim["trajectory_ab"]["rows"]],
+          "kernel(" + qsim["kernel_ab"]["isa"] + ")",
+          [round(r["speedup"], 2) for r in qsim["kernel_ab"]["rows"]
+           if r["gate"] in KERNEL_GATED_CLASSES
+           and r["qubits"] >= KERNEL_MIN_QUBITS],
+          "train", [round(r["speedup"], 2) for r in train["rows"]])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json reports against ci/bench_schema.json.
+
+Usage: check_bench_schema.py REPORT.json [REPORT.json ...]
+
+Each report is matched to its schema entry by basename. Runs before the
+regression gate (ci/bench_gate.py) so a malformed or truncated report fails
+with a precise path like
+
+    BENCH_qsim_micro.json: kernel_ab.rows[3].speedup: expected num, got str
+
+instead of a stack trace inside the gate. Dependency-free by design: the
+schema language is four leaf types plus list/obj nesting, interpreted here.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "bench_schema.json")
+
+LEAF_CHECKS = {
+    "str": lambda v: isinstance(v, str),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "num": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "bool": lambda v: isinstance(v, bool),
+}
+
+
+def type_name(value):
+    return type(value).__name__
+
+
+def check_node(value, spec, path, errors):
+    if isinstance(spec, str):
+        if not LEAF_CHECKS[spec](value):
+            errors.append(f"{path}: expected {spec}, got "
+                          f"{type_name(value)} ({value!r})")
+        return
+    kind = spec["type"]
+    if kind == "list":
+        if not isinstance(value, list):
+            errors.append(f"{path}: expected array, got {type_name(value)}")
+            return
+        if not value:
+            errors.append(f"{path}: array must not be empty")
+            return
+        for i, row in enumerate(value):
+            row_path = f"{path}[{i}]"
+            if not isinstance(row, dict):
+                errors.append(f"{row_path}: expected object, got "
+                              f"{type_name(row)}")
+                continue
+            check_required(row, spec["row"], row_path, errors)
+    elif kind == "obj":
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected object, got {type_name(value)}")
+            return
+        check_required(value, spec["required"], path, errors)
+    else:
+        raise ValueError(f"unknown schema node type {kind!r} at {path}")
+
+
+def check_required(obj, required, path, errors):
+    for key, spec in required.items():
+        key_path = f"{path}.{key}" if path else key
+        if key not in obj:
+            errors.append(f"{key_path}: missing required key")
+            continue
+        check_node(obj[key], spec, key_path, errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(SCHEMA_PATH) as f:
+        schema = json.load(f)
+
+    failures = 0
+    for report_path in argv[1:]:
+        name = os.path.basename(report_path)
+        if name not in schema:
+            print(f"{name}: no schema entry in {SCHEMA_PATH}")
+            failures += 1
+            continue
+        try:
+            with open(report_path) as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{name}: unreadable or invalid JSON: {e}")
+            failures += 1
+            continue
+        errors = []
+        check_required(report, schema[name]["required"], "", errors)
+        for err in errors:
+            print(f"{name}: {err}")
+        if errors:
+            failures += 1
+        else:
+            print(f"{name}: schema OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "qsim/kernels.h"
 #include "qsim/observable.h"
 
 namespace sqvae::qsim {
@@ -63,12 +64,10 @@ double apply_diag_observable(const std::vector<double>& diag,
                              const Statevector& psi, Statevector& lambda) {
   assert(diag.size() == psi.dim());
   assert(lambda.dim() == psi.dim());
-  double value = 0.0;
-  for (std::size_t i = 0; i < psi.dim(); ++i) {
-    value += diag[i] * std::norm(psi[i]);
-    lambda[i] = diag[i] * psi[i];
-  }
-  return value;
+  // One fused kernel pass: value = <psi|diag|psi> and lambda = diag * psi.
+  return kernels::active().apply_diag_observable(
+      diag.data(), psi.amplitudes().data(), lambda.amplitudes().data(),
+      psi.dim());
 }
 
 void adjoint_reverse_sweep(const std::vector<GateOp>& ops,

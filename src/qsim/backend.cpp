@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "qsim/kernels.h"
 
 namespace sqvae::qsim {
 
@@ -45,20 +46,19 @@ using backend_detail::derive_seed;
 
 /// Writes the measurement (per-qubit <Z> or basis probabilities) into a
 /// caller-owned row — the hot-loop variant, so per-trajectory measurements
-/// never allocate.
+/// never allocate. Runs through the dispatched kernel layer, like the
+/// trajectory replay itself (every apply_* above goes through
+/// Statevector and therefore kernels::active()).
 void measure_into(const Statevector& state, bool probabilities, double* row) {
   const std::size_t dim = state.dim();
+  const cplx* amps = state.amplitudes().data();
   if (probabilities) {
-    for (std::size_t i = 0; i < dim; ++i) row[i] = std::norm(state[i]);
+    kernels::active().probabilities(amps, dim, row);
     return;
   }
-  const std::size_t n = static_cast<std::size_t>(state.num_qubits());
-  std::fill(row, row + n, 0.0);
-  for (std::size_t i = 0; i < dim; ++i) {
-    const double p = std::norm(state[i]);
-    for (std::size_t q = 0; q < n; ++q) {
-      row[q] += (i & (std::size_t{1} << q)) ? -p : p;
-    }
+  const int n = state.num_qubits();
+  for (int q = 0; q < n; ++q) {
+    row[q] = kernels::active().expectation_z(amps, dim, q);
   }
 }
 

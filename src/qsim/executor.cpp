@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 
 namespace sqvae::qsim {
 
@@ -29,6 +30,7 @@ CircuitExecutor::CircuitExecutor(const Circuit& circuit)
   // or the circuit ends; single-qubit gates on other wires commute past it.
   std::vector<std::vector<Factor>> pending(
       static_cast<std::size_t>(num_qubits_));
+  std::vector<Step> raw;
 
   auto flush = [&](int q) {
     std::vector<Factor>& run = pending[static_cast<std::size_t>(q)];
@@ -43,7 +45,7 @@ CircuitExecutor::CircuitExecutor(const Circuit& circuit)
       if (f.param.is_slot()) s.constant = false;
     }
     if (s.constant) s.matrix = bind_step(s, {});
-    plan_.push_back(s);
+    raw.push_back(s);
     run.clear();
   };
 
@@ -60,7 +62,7 @@ CircuitExecutor::CircuitExecutor(const Circuit& circuit)
                                             : StepKind::kSWAP;
         s.target = op.target;
         s.control = op.control;
-        plan_.push_back(s);
+        raw.push_back(s);
         break;
       }
       case GateKind::kCRX:
@@ -77,7 +79,7 @@ CircuitExecutor::CircuitExecutor(const Circuit& circuit)
         s.factor_end = s.factor_begin + 1;
         s.constant = !op.param.is_slot();
         if (s.constant) s.matrix = gate_matrix(op.kind, op.param.constant);
-        plan_.push_back(s);
+        raw.push_back(s);
         break;
       }
       default:
@@ -87,6 +89,61 @@ CircuitExecutor::CircuitExecutor(const Circuit& circuit)
     }
   }
   for (int q = 0; q < num_qubits_; ++q) flush(q);
+
+  coalesce_diagonal_runs(std::move(raw));
+}
+
+bool CircuitExecutor::is_diagonal_step(const Step& s) const {
+  switch (s.kind) {
+    case StepKind::kCZ:
+      return true;
+    case StepKind::kSingle:
+    case StepKind::kControlled:
+      for (int f = s.factor_begin; f < s.factor_end; ++f) {
+        if (!is_diagonal(factors_[static_cast<std::size_t>(f)].gate)) {
+          return false;
+        }
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CircuitExecutor::coalesce_diagonal_runs(std::vector<Step> raw) {
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    std::size_t j = i;
+    while (j < raw.size() && is_diagonal_step(raw[j])) ++j;
+    if (j - i < 2) {
+      // Not a run (j == i: non-diagonal step; j == i+1: lone diagonal
+      // step) — too short to be worth a phase-table pass, keep as-is.
+      plan_.push_back(raw[i]);
+      ++i;
+      continue;
+    }
+    Step d;
+    d.kind = StepKind::kDiagonal;
+    d.diag_begin = static_cast<int>(diag_components_.size());
+    for (std::size_t k = i; k < j; ++k) {
+      if (!raw[k].constant) d.constant = false;
+      diag_components_.push_back(raw[k]);
+    }
+    d.diag_end = static_cast<int>(diag_components_.size());
+    if (d.constant) {
+      kernels::DiagonalRun run;
+      bind_diagonal(d, {}, run);
+      std::vector<cplx> table;
+      kernels::build_diagonal_table(run, num_qubits_, table);
+      d.diag_index = static_cast<int>(const_diag_tables_.size());
+      const_diag_tables_.push_back(std::move(table));
+    } else {
+      d.diag_index = static_cast<int>(num_dynamic_diag_++);
+    }
+    plan_.push_back(d);
+    ++num_diag_steps_;
+    i = j;
+  }
 }
 
 Mat2 CircuitExecutor::bind_step(const Step& s,
@@ -100,38 +157,89 @@ Mat2 CircuitExecutor::bind_step(const Step& s,
   return m;
 }
 
-void CircuitExecutor::bind(const std::vector<double>& params,
-                           std::vector<Mat2>& matrices) const {
-  matrices.resize(plan_.size());
-  for (std::size_t i = 0; i < plan_.size(); ++i) {
-    const Step& s = plan_[i];
-    if (s.kind == StepKind::kSingle || s.kind == StepKind::kControlled) {
-      matrices[i] = s.constant ? s.matrix : bind_step(s, params);
+void CircuitExecutor::bind_diagonal(const Step& s,
+                                    const std::vector<double>& params,
+                                    kernels::DiagonalRun& run) const {
+  run.clear();
+  for (int k = s.diag_begin; k < s.diag_end; ++k) {
+    const Step& c = diag_components_[static_cast<std::size_t>(k)];
+    const Mat2 m = (c.kind == StepKind::kCZ) ? kIdentity
+                   : c.constant              ? c.matrix
+                                             : bind_step(c, params);
+    switch (c.kind) {
+      case StepKind::kSingle:
+        run.push_factor(c.target, m[0], m[3]);
+        break;
+      case StepKind::kControlled:
+        run.push_pair(c.control, c.target, m[0], m[3]);
+        break;
+      case StepKind::kCZ:
+        run.push_pair(c.control, c.target, cplx{1.0, 0.0}, cplx{-1.0, 0.0});
+        break;
+      default:
+        assert(false && "non-diagonal component in a diagonal run");
+        break;
     }
   }
 }
 
-void CircuitExecutor::execute(const std::vector<Mat2>& matrices,
-                              Statevector& state) const {
-  assert(state.num_qubits() == num_qubits_);
+void CircuitExecutor::bind(const std::vector<double>& params,
+                           BoundPlan& bound) const {
+  bound.matrices.resize(plan_.size());
+  bound.diag_tables.resize(num_dynamic_diag_);
   for (std::size_t i = 0; i < plan_.size(); ++i) {
     const Step& s = plan_[i];
     switch (s.kind) {
       case StepKind::kSingle:
-        state.apply_single(matrices[i], s.target);
+      case StepKind::kControlled:
+        bound.matrices[i] = s.constant ? s.matrix : bind_step(s, params);
+        break;
+      case StepKind::kDiagonal:
+        if (!s.constant) {
+          bind_diagonal(s, params, bound.scratch_run);
+          kernels::build_diagonal_table(
+              bound.scratch_run, num_qubits_,
+              bound.diag_tables[static_cast<std::size_t>(s.diag_index)]);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void CircuitExecutor::execute(const BoundPlan& bound,
+                              Statevector& state) const {
+  assert(state.num_qubits() == num_qubits_);
+  const kernels::KernelTable& kt = kernels::active();
+  cplx* amps = state.amplitudes().data();
+  const std::size_t dim = state.dim();
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const Step& s = plan_[i];
+    switch (s.kind) {
+      case StepKind::kSingle:
+        kt.apply_single(amps, dim, bound.matrices[i], s.target);
         break;
       case StepKind::kControlled:
-        state.apply_controlled_single(matrices[i], s.control, s.target);
+        kt.apply_controlled_single(amps, dim, bound.matrices[i], s.control,
+                                   s.target);
         break;
       case StepKind::kCNOT:
-        state.apply_cnot(s.control, s.target);
+        kt.apply_cnot(amps, dim, s.control, s.target);
         break;
       case StepKind::kCZ:
-        state.apply_cz(s.control, s.target);
+        kt.apply_cz(amps, dim, s.control, s.target);
         break;
       case StepKind::kSWAP:
-        state.apply_swap(s.control, s.target);
+        kt.apply_swap(amps, dim, s.control, s.target);
         break;
+      case StepKind::kDiagonal: {
+        const std::size_t di = static_cast<std::size_t>(s.diag_index);
+        const std::vector<cplx>& table =
+            s.constant ? const_diag_tables_[di] : bound.diag_tables[di];
+        kt.apply_diagonal_table(amps, dim, table.data());
+        break;
+      }
     }
   }
 }
@@ -156,9 +264,9 @@ void CircuitExecutor::bind_ops(const std::vector<double>& params,
 void CircuitExecutor::run(const std::vector<double>& params,
                           Statevector& state) const {
   assert(static_cast<int>(params.size()) >= num_param_slots_);
-  std::vector<Mat2> matrices;
-  bind(params, matrices);
-  execute(matrices, state);
+  BoundPlan bound;
+  bind(params, bound);
+  execute(bound, state);
 }
 
 Statevector CircuitExecutor::run_from_zero(
@@ -176,13 +284,13 @@ void CircuitExecutor::run_batch(
 #pragma omp parallel
   {
     // One bind buffer per thread, reused across its samples.
-    std::vector<Mat2> matrices;
+    BoundPlan bound;
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < batch; ++i) {
       const std::size_t k = static_cast<std::size_t>(i);
       assert(static_cast<int>(params_batch[k].size()) >= num_param_slots_);
-      bind(params_batch[k], matrices);
-      execute(matrices, states[k]);
+      bind(params_batch[k], bound);
+      execute(bound, states[k]);
     }
   }
 }
@@ -197,7 +305,7 @@ std::vector<AdjointResult> CircuitExecutor::adjoint_batch(
   std::vector<AdjointResult> results(static_cast<std::size_t>(batch));
 #pragma omp parallel
   {
-    std::vector<Mat2> matrices;
+    BoundPlan bound;
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < batch; ++i) {
       const std::size_t k = static_cast<std::size_t>(i);
@@ -208,8 +316,8 @@ std::vector<AdjointResult> CircuitExecutor::adjoint_batch(
 
       // Fused forward pass.
       Statevector psi = initials[k];
-      bind(params, matrices);
-      execute(matrices, psi);
+      bind(params, bound);
+      execute(bound, psi);
 
       // Value and lambda = diag(O) psi.
       AdjointResult& r = results[k];

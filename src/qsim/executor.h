@@ -14,10 +14,19 @@
 //     RY, into a single kernel invocation);
 //   * CNOT / CZ / SWAP keep their specialised amplitude-swap / phase-flip
 //     kernels, never the generic controlled-matrix path;
+//   * maximal runs of >= 2 adjacent *diagonal* steps (fused RZ/Z/S/T
+//     matrices, CZ, CRZ) collapse into one kDiagonal step — a single
+//     elementwise phase pass over the state (kernels::DiagonalRun), however
+//     many gates the run contains;
 //   * plan steps whose angles are compile-time constants pre-bind their
-//     matrix once; only slot-dependent steps are re-bound per sample, an
-//     O(plan size) pass of 2x2 products that is negligible next to the
-//     O(2^n) amplitude kernels.
+//     matrix (or their diagonal phase table) once; only slot-dependent
+//     steps are re-bound per sample, an O(plan size) pass that is
+//     negligible next to the O(2^n) amplitude kernels.
+//
+// All amplitude kernels go through the runtime-dispatched kernel layer
+// (qsim/kernels.h) — the executor, the naive interpreter, the adjoint
+// reverse sweep, and the stochastic backends share one vectorised code
+// path.
 //
 // `run_batch()` / `adjoint_batch()` execute a whole mini-batch with an
 // OpenMP-parallel loop over samples (each sample owns its statevector, so
@@ -31,6 +40,7 @@
 
 #include "qsim/adjoint.h"
 #include "qsim/circuit.h"
+#include "qsim/kernels.h"
 #include "qsim/statevector.h"
 
 namespace sqvae::qsim {
@@ -47,6 +57,9 @@ class CircuitExecutor {
   std::size_t num_plan_ops() const { return plan_.size(); }
   /// Original gate count, for fusion-ratio reporting.
   std::size_t num_circuit_ops() const { return ops_.size(); }
+  /// Number of fused diagonal-run steps in the plan (each collapses >= 2
+  /// diagonal plan steps into one elementwise pass).
+  std::size_t num_diag_steps() const { return num_diag_steps_; }
   /// The executor's copy of the original gate list. Engines that interleave
   /// per-gate work with circuit execution (the trajectory backend inserts
   /// stochastic Pauli errors between gates) walk this alongside bind_ops().
@@ -87,6 +100,7 @@ class CircuitExecutor {
     kCNOT,
     kCZ,
     kSWAP,
+    kDiagonal,  // fused run of diagonal steps -> one elementwise pass
   };
 
   /// One gate factor of a fused single-qubit run, kept for slot re-binding.
@@ -104,28 +118,59 @@ class CircuitExecutor {
     // kControlled: factor_begin indexes the single controlled factor.
     int factor_begin = 0;
     int factor_end = 0;
-    // True when no factor references a parameter slot; `matrix` is then
-    // pre-bound at compile time and bind() skips this step.
+    // kDiagonal: component steps diag_components_[diag_begin, diag_end)
+    // collapsed into this run; diag_index addresses the bound phase table
+    // (const_diag_tables_ when constant, BoundPlan::diag_tables otherwise).
+    int diag_begin = 0;
+    int diag_end = 0;
+    int diag_index = -1;
+    // True when no factor references a parameter slot; `matrix` (or the
+    // diagonal table) is then pre-bound at compile time and bind() skips
+    // this step.
     bool constant = true;
     Mat2 matrix{};
+  };
+
+  /// Per-sample bound state of the plan: slot-dependent step matrices plus
+  /// the expanded phase tables of slot-dependent diagonal runs. Reused
+  /// across samples (one instance per OpenMP thread in the batch loops).
+  struct BoundPlan {
+    std::vector<Mat2> matrices;
+    std::vector<std::vector<cplx>> diag_tables;
+    kernels::DiagonalRun scratch_run;
   };
 
   /// Computes the matrix of step `s` under `params`.
   Mat2 bind_step(const Step& s, const std::vector<double>& params) const;
 
-  /// Re-binds all slot-dependent step matrices into `matrices` (indexed by
-  /// plan position; constant steps keep their pre-bound value).
-  void bind(const std::vector<double>& params,
-            std::vector<Mat2>& matrices) const;
+  /// Collapses the component steps of diagonal-run `s` into `run`.
+  void bind_diagonal(const Step& s, const std::vector<double>& params,
+                     kernels::DiagonalRun& run) const;
 
-  /// Applies the plan with the given bound matrices.
-  void execute(const std::vector<Mat2>& matrices, Statevector& state) const;
+  /// Re-binds all slot-dependent step matrices and diagonal tables
+  /// (constant steps keep their pre-bound values).
+  void bind(const std::vector<double>& params, BoundPlan& bound) const;
+
+  /// Applies the plan with the given bound state.
+  void execute(const BoundPlan& bound, Statevector& state) const;
+
+  /// True when the step's matrix is diagonal for every parameter value
+  /// (all factors are structurally diagonal gates).
+  bool is_diagonal_step(const Step& s) const;
+
+  /// Coalesces maximal runs of >= 2 adjacent diagonal steps of `raw` into
+  /// kDiagonal steps; pre-binds the tables of fully-constant runs.
+  void coalesce_diagonal_runs(std::vector<Step> raw);
 
   int num_qubits_;
   int num_param_slots_;
   std::vector<GateOp> ops_;  // original gate list (exact adjoint reverse)
   std::vector<Step> plan_;
   std::vector<Factor> factors_;
+  std::vector<Step> diag_components_;  // flattened kDiagonal constituents
+  std::vector<std::vector<cplx>> const_diag_tables_;
+  std::size_t num_dynamic_diag_ = 0;
+  std::size_t num_diag_steps_ = 0;
 };
 
 }  // namespace sqvae::qsim

@@ -34,6 +34,20 @@ bool is_two_qubit(GateKind k) {
   }
 }
 
+bool is_diagonal(GateKind k) {
+  switch (k) {
+    case GateKind::kRZ:
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kT:
+    case GateKind::kCZ:
+    case GateKind::kCRZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string gate_name(GateKind k) {
   switch (k) {
     case GateKind::kRX: return "RX";

@@ -39,6 +39,12 @@ bool is_parameterized(GateKind k);
 /// True for two-qubit gates (control/target pair or SWAP).
 bool is_two_qubit(GateKind k);
 
+/// True for gates whose full matrix is diagonal in the computational basis
+/// (RZ/Z/S/T single-qubit, CZ/CRZ two-qubit). Diagonal gates commute with
+/// each other, which is what lets the executor collapse adjacent diagonal
+/// plan steps into one fused elementwise pass (kernels::DiagonalRun).
+bool is_diagonal(GateKind k);
+
 /// Short mnemonic ("RY", "CNOT", ...), used in circuit dumps and tests.
 std::string gate_name(GateKind k);
 

@@ -1,0 +1,284 @@
+#include "qsim/kernels.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace sqvae::qsim::kernels {
+
+void DiagonalRun::push_factor(int qubit, cplx d0, cplx d1) {
+  for (Factor& f : factors) {
+    if (f.qubit == qubit) {
+      f.d0 *= d0;
+      f.d1 *= d1;
+      return;
+    }
+  }
+  factors.push_back(Factor{qubit, d0, d1});
+}
+
+void DiagonalRun::push_pair(int control, int target, cplx p10, cplx p11) {
+  for (Pair& p : pairs) {
+    if (p.control == control && p.target == target) {
+      p.p10 *= p10;
+      p.p11 *= p11;
+      return;
+    }
+  }
+  pairs.push_back(Pair{control, target, p10, p11});
+}
+
+void build_diagonal_table(const DiagonalRun& run, int num_qubits,
+                          std::vector<cplx>& table) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  table.resize(dim);
+  table[0] = cplx{1.0, 0.0};
+  // Doubling pass: after processing qubit q the first 2^(q+1) entries hold
+  // the factor-only phases of those basis states.
+  std::size_t size = 1;
+  for (int q = 0; q < num_qubits; ++q) {
+    cplx d0{1.0, 0.0};
+    cplx d1{1.0, 0.0};
+    for (const DiagonalRun::Factor& f : run.factors) {
+      if (f.qubit == q) {
+        d0 = f.d0;
+        d1 = f.d1;
+        break;
+      }
+    }
+    for (std::size_t j = 0; j < size; ++j) {
+      table[size + j] = table[j] * d1;
+      table[j] *= d0;
+    }
+    size *= 2;
+  }
+  for (const DiagonalRun::Pair& p : run.pairs) {
+    const std::size_t cbit = std::size_t{1} << p.control;
+    const std::size_t tbit = std::size_t{1} << p.target;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if ((i & cbit) != 0) table[i] *= (i & tbit) ? p.p11 : p.p10;
+    }
+  }
+}
+
+namespace {
+
+// ---- scalar kernels -------------------------------------------------------
+//
+// The gate kernels keep the seed's exact arithmetic (same std::complex
+// expressions) so routing Statevector through this table changes no bits on
+// the scalar path. The two-qubit kernels use a three-level bit enumeration
+// instead of the seed's full-index scan with a branch: with b1 = the
+// smaller and b2 = the larger of the two qubit masks,
+//
+//   for (i0 += 2*b2) for (i1 += 2*b1) for (i2 in [0, b1))
+//
+// visits exactly the indices with the chosen (control, target) bit pattern,
+// touching each affected pair once with no per-index branching. The inner
+// run of length b1 is contiguous — that contiguity is what the AVX2 table
+// vectorises.
+
+void scalar_apply_single(cplx* amps, std::size_t n, const Mat2& m,
+                         int target) {
+  const std::size_t stride = std::size_t{1} << target;
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx a0 = amps[i];
+      const cplx a1 = amps[i + stride];
+      amps[i] = m[0] * a0 + m[1] * a1;
+      amps[i + stride] = m[2] * a0 + m[3] * a1;
+    }
+  }
+}
+
+void scalar_apply_controlled_single(cplx* amps, std::size_t n, const Mat2& m,
+                                    int control, int target) {
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t b1 = cbit < tbit ? cbit : tbit;
+  const std::size_t b2 = cbit < tbit ? tbit : cbit;
+  for (std::size_t i0 = 0; i0 < n; i0 += 2 * b2) {
+    for (std::size_t i1 = i0; i1 < i0 + b2; i1 += 2 * b1) {
+      const std::size_t base = i1 | cbit;
+      for (std::size_t i = base; i < base + b1; ++i) {
+        const cplx a0 = amps[i];
+        const cplx a1 = amps[i | tbit];
+        amps[i] = m[0] * a0 + m[1] * a1;
+        amps[i | tbit] = m[2] * a0 + m[3] * a1;
+      }
+    }
+  }
+}
+
+void scalar_apply_cnot(cplx* amps, std::size_t n, int control, int target) {
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t b1 = cbit < tbit ? cbit : tbit;
+  const std::size_t b2 = cbit < tbit ? tbit : cbit;
+  for (std::size_t i0 = 0; i0 < n; i0 += 2 * b2) {
+    for (std::size_t i1 = i0; i1 < i0 + b2; i1 += 2 * b1) {
+      const std::size_t base = i1 | cbit;
+      for (std::size_t i = base; i < base + b1; ++i) {
+        const cplx t = amps[i];
+        amps[i] = amps[i | tbit];
+        amps[i | tbit] = t;
+      }
+    }
+  }
+}
+
+void scalar_apply_cz(cplx* amps, std::size_t n, int control, int target) {
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t b1 = cbit < tbit ? cbit : tbit;
+  const std::size_t b2 = cbit < tbit ? tbit : cbit;
+  for (std::size_t i0 = 0; i0 < n; i0 += 2 * b2) {
+    for (std::size_t i1 = i0; i1 < i0 + b2; i1 += 2 * b1) {
+      const std::size_t base = i1 | cbit | tbit;
+      for (std::size_t i = base; i < base + b1; ++i) amps[i] = -amps[i];
+    }
+  }
+}
+
+void scalar_apply_swap(cplx* amps, std::size_t n, int a, int b) {
+  const std::size_t abit = std::size_t{1} << a;
+  const std::size_t bbit = std::size_t{1} << b;
+  const std::size_t b1 = abit < bbit ? abit : bbit;
+  const std::size_t b2 = abit < bbit ? bbit : abit;
+  const std::size_t flip = abit | bbit;
+  // Enumerate indices with the a-bit set and the b-bit clear; the partner
+  // (a clear, b set) is index ^ flip, so each unordered pair swaps once.
+  for (std::size_t i0 = 0; i0 < n; i0 += 2 * b2) {
+    for (std::size_t i1 = i0; i1 < i0 + b2; i1 += 2 * b1) {
+      const std::size_t base = i1 | abit;
+      for (std::size_t i = base; i < base + b1; ++i) {
+        const cplx t = amps[i];
+        amps[i] = amps[i ^ flip];
+        amps[i ^ flip] = t;
+      }
+    }
+  }
+}
+
+void scalar_apply_diagonal_table(cplx* amps, std::size_t n,
+                                 const cplx* table) {
+  for (std::size_t i = 0; i < n; ++i) amps[i] *= table[i];
+}
+
+cplx scalar_inner(const cplx* a, const cplx* b, std::size_t n) {
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+double scalar_norm_squared(const cplx* amps, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::norm(amps[i]);
+  return s;
+}
+
+double scalar_expectation_z(const cplx* amps, std::size_t n, int qubit) {
+  const std::size_t bit = std::size_t{1} << qubit;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = std::norm(amps[i]);
+    s += (i & bit) ? -p : p;
+  }
+  return s;
+}
+
+double scalar_apply_diag_observable(const double* diag, const cplx* psi,
+                                    cplx* lambda, std::size_t n) {
+  double value = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    value += diag[i] * std::norm(psi[i]);
+    lambda[i] = diag[i] * psi[i];
+  }
+  return value;
+}
+
+void scalar_probabilities(const cplx* amps, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::norm(amps[i]);
+}
+
+// ---- dispatch -------------------------------------------------------------
+
+bool force_scalar_from_env() {
+  const char* v = std::getenv("SQVAE_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+struct Dispatch {
+  const KernelTable* table;
+  Isa isa;
+};
+
+const Dispatch& dispatch() {
+  static const Dispatch d = [] {
+    if (!force_scalar_from_env()) {
+      if (const KernelTable* avx2 = avx2_table_if_supported()) {
+        return Dispatch{avx2, Isa::kAvx2};
+      }
+    }
+    return Dispatch{&scalar_table(), Isa::kScalar};
+  }();
+  return d;
+}
+
+}  // namespace
+
+#ifdef SQVAE_SIMD_AVX2
+// Defined in kernels_avx2.cpp (the only TU compiled with -mavx2 -mfma).
+namespace detail {
+const KernelTable& avx2_table();
+}
+
+bool compiled_with_simd() { return true; }
+
+const KernelTable* avx2_table_if_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &detail::avx2_table();
+  }
+#endif
+  return nullptr;
+}
+#else
+bool compiled_with_simd() { return false; }
+
+const KernelTable* avx2_table_if_supported() { return nullptr; }
+#endif
+
+const KernelTable& scalar_table() {
+  static const KernelTable t = {
+      scalar_apply_single,
+      scalar_apply_controlled_single,
+      scalar_apply_cnot,
+      scalar_apply_cz,
+      scalar_apply_swap,
+      scalar_apply_diagonal_table,
+      scalar_inner,
+      scalar_norm_squared,
+      scalar_expectation_z,
+      scalar_apply_diag_observable,
+      scalar_probabilities,
+  };
+  return t;
+}
+
+const KernelTable& active() { return *dispatch().table; }
+
+Isa active_isa() { return dispatch().isa; }
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+void apply_diagonal_run(cplx* amps, std::size_t n, int num_qubits,
+                        const DiagonalRun& run) {
+  assert(n == (std::size_t{1} << num_qubits));
+  thread_local std::vector<cplx> table;
+  build_diagonal_table(run, num_qubits, table);
+  active().apply_diagonal_table(amps, n, table.data());
+}
+
+}  // namespace sqvae::qsim::kernels

@@ -1,0 +1,135 @@
+// Runtime-dispatched statevector kernels: the data-parallel layer under
+// every amplitude-touching loop in the simulator.
+//
+// Statevector::apply_*, the executor's fused plan, the adjoint reverse
+// sweep, and the stochastic backends' trajectory replay all funnel through
+// the function table returned by active(), so one vectorised implementation
+// accelerates every workload at once. Two implementations exist:
+//
+//   * scalar  — portable C++, the reference semantics (and the seed's exact
+//     arithmetic for the gate kernels);
+//   * avx2    — hand-vectorised AVX2+FMA, compiled into its own translation
+//     unit with -mavx2 -mfma (the rest of the binary keeps the baseline
+//     ISA, so the executable stays portable) and only selected when the CPU
+//     reports both features at startup.
+//
+// Selection happens once per process, on first use. Setting
+// SQVAE_FORCE_SCALAR=1 in the environment pins the scalar table regardless
+// of CPU support — CI uses this to run the whole test suite down both
+// dispatch paths on the same host. Building with -DSQVAE_SIMD=OFF removes
+// the AVX2 translation unit entirely.
+//
+// Kernels operate on raw interleaved complex<double> arrays (`n` is the
+// amplitude count, a power of two). Qubit indices follow the repo-wide
+// convention (statevector.h): qubit q is bit q of the basis-state index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qsim/types.h"
+
+namespace sqvae::qsim::kernels {
+
+/// A fused *diagonal run*: the product of adjacent diagonal circuit steps
+/// (RZ/Z/S/T single-qubit factors, CZ, CRZ), collapsed into one elementwise
+/// phase per basis state:
+///
+///   phase(i) = prod_f (bit_{f.qubit}(i) ? f.d1 : f.d0)
+///            * prod_p (bit_{p.control}(i) ? (bit_{p.target}(i) ? p.p11
+///                                                              : p.p10)
+///                                         : 1)
+///
+/// Diagonal matrices commute, so any contiguous plan run may be collapsed
+/// regardless of internal order. CZ is the pair {c, t, 1, -1}; CRZ(theta)
+/// is {c, t, e^{-i theta/2}, e^{+i theta/2}}.
+struct DiagonalRun {
+  struct Factor {
+    int qubit;
+    cplx d0;
+    cplx d1;
+  };
+  struct Pair {
+    int control;
+    int target;
+    cplx p10;
+    cplx p11;
+  };
+
+  std::vector<Factor> factors;  // at most one entry per qubit (merged)
+  std::vector<Pair> pairs;
+
+  void clear() {
+    factors.clear();
+    pairs.clear();
+  }
+
+  /// Multiplies diag(d0, d1) on `qubit` into the run, merging with an
+  /// existing factor on the same qubit.
+  void push_factor(int qubit, cplx d0, cplx d1);
+
+  /// Appends a controlled phase pair (applied where `control` is set).
+  void push_pair(int control, int target, cplx p10, cplx p11);
+};
+
+/// Expands a run into the dense per-basis-state phase table of size
+/// 2^num_qubits (resized by the call). Factor phases are folded in with a
+/// doubling pass (O(2^n) total), pair phases with one strided pass each.
+void build_diagonal_table(const DiagonalRun& run, int num_qubits,
+                          std::vector<cplx>& table);
+
+/// The dispatchable kernel set. All pointers are always non-null.
+struct KernelTable {
+  /// General 2x2 gate on `target` (stride-aware: target 0 uses an
+  /// in-register shuffle variant in the AVX2 table).
+  void (*apply_single)(cplx* amps, std::size_t n, const Mat2& m, int target);
+  /// 2x2 gate on `target`, applied on the control=|1> subspace.
+  void (*apply_controlled_single)(cplx* amps, std::size_t n, const Mat2& m,
+                                  int control, int target);
+  void (*apply_cnot)(cplx* amps, std::size_t n, int control, int target);
+  void (*apply_cz)(cplx* amps, std::size_t n, int control, int target);
+  void (*apply_swap)(cplx* amps, std::size_t n, int a, int b);
+  /// One elementwise pass: amps[i] *= table[i] (a prebuilt diagonal-run
+  /// table from build_diagonal_table()).
+  void (*apply_diagonal_table)(cplx* amps, std::size_t n, const cplx* table);
+  /// <a|b> = sum conj(a[i]) * b[i].
+  cplx (*inner)(const cplx* a, const cplx* b, std::size_t n);
+  double (*norm_squared)(const cplx* amps, std::size_t n);
+  double (*expectation_z)(const cplx* amps, std::size_t n, int qubit);
+  /// value = sum diag[i] |psi[i]|^2 and lambda[i] = diag[i] psi[i], fused
+  /// in one pass (the adjoint sweep's observable application).
+  double (*apply_diag_observable)(const double* diag, const cplx* psi,
+                                  cplx* lambda, std::size_t n);
+  /// out[i] = |amps[i]|^2.
+  void (*probabilities)(const cplx* amps, std::size_t n, double* out);
+};
+
+enum class Isa { kScalar, kAvx2 };
+
+/// "scalar" / "avx2" — stable strings, reported in BENCH_qsim_micro.json.
+const char* isa_name(Isa isa);
+
+/// The table picked by runtime dispatch (cached after the first call).
+const KernelTable& active();
+
+/// Which ISA active() resolved to.
+Isa active_isa();
+
+/// Portable reference implementation — the A/B baseline and the golden
+/// oracle of the kernel equivalence tests.
+const KernelTable& scalar_table();
+
+/// The AVX2 table when it is compiled in *and* the CPU supports AVX2+FMA;
+/// nullptr otherwise. Ignores SQVAE_FORCE_SCALAR (tests use this to compare
+/// both implementations inside one process).
+const KernelTable* avx2_table_if_supported();
+
+/// True when the binary was built with SQVAE_SIMD (the AVX2 TU is linked).
+bool compiled_with_simd();
+
+/// Convenience wrapper: builds the run's table into thread-local scratch
+/// and applies it in one pass via the active kernel table.
+void apply_diagonal_run(cplx* amps, std::size_t n, int num_qubits,
+                        const DiagonalRun& run);
+
+}  // namespace sqvae::qsim::kernels

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "qsim/kernels.h"
+
 namespace sqvae::qsim {
 
 namespace {
@@ -35,9 +37,7 @@ void Statevector::reset() {
 }
 
 double Statevector::norm_squared() const {
-  double s = 0.0;
-  for (const auto& a : amps_) s += std::norm(a);
-  return s;
+  return kernels::active().norm_squared(amps_.data(), amps_.size());
 }
 
 bool Statevector::is_normalized(double tol) const {
@@ -46,17 +46,7 @@ bool Statevector::is_normalized(double tol) const {
 
 void Statevector::apply_single(const Mat2& m, int target) {
   assert(target >= 0 && target < num_qubits_);
-  const std::size_t stride = std::size_t{1} << target;
-  const std::size_t n = amps_.size();
-  // Iterate over all index pairs (i, i+stride) where bit `target` of i is 0.
-  for (std::size_t base = 0; base < n; base += 2 * stride) {
-    for (std::size_t i = base; i < base + stride; ++i) {
-      const cplx a0 = amps_[i];
-      const cplx a1 = amps_[i + stride];
-      amps_[i] = m[0] * a0 + m[1] * a1;
-      amps_[i + stride] = m[2] * a0 + m[3] * a1;
-    }
-  }
+  kernels::active().apply_single(amps_.data(), amps_.size(), m, target);
 }
 
 void Statevector::apply_controlled_single(const Mat2& m, int control,
@@ -64,68 +54,43 @@ void Statevector::apply_controlled_single(const Mat2& m, int control,
   assert(control >= 0 && control < num_qubits_);
   assert(target >= 0 && target < num_qubits_);
   assert(control != target);
-  const std::size_t tbit = std::size_t{1} << target;
-  const std::size_t cbit = std::size_t{1} << control;
-  const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    // Visit each affected pair once: control bit set, target bit clear.
-    if ((i & cbit) == 0 || (i & tbit) != 0) continue;
-    const cplx a0 = amps_[i];
-    const cplx a1 = amps_[i | tbit];
-    amps_[i] = m[0] * a0 + m[1] * a1;
-    amps_[i | tbit] = m[2] * a0 + m[3] * a1;
-  }
+  kernels::active().apply_controlled_single(amps_.data(), amps_.size(), m,
+                                            control, target);
 }
 
 void Statevector::apply_cnot(int control, int target) {
+  assert(control >= 0 && control < num_qubits_);
+  assert(target >= 0 && target < num_qubits_);
   assert(control != target);
-  const std::size_t tbit = std::size_t{1} << target;
-  const std::size_t cbit = std::size_t{1} << control;
-  const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & cbit) != 0 && (i & tbit) == 0) {
-      std::swap(amps_[i], amps_[i | tbit]);
-    }
-  }
+  kernels::active().apply_cnot(amps_.data(), amps_.size(), control, target);
 }
 
 void Statevector::apply_cz(int control, int target) {
+  assert(control >= 0 && control < num_qubits_);
+  assert(target >= 0 && target < num_qubits_);
   assert(control != target);
-  const std::size_t tbit = std::size_t{1} << target;
-  const std::size_t cbit = std::size_t{1} << control;
-  const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & cbit) != 0 && (i & tbit) != 0) amps_[i] = -amps_[i];
-  }
+  kernels::active().apply_cz(amps_.data(), amps_.size(), control, target);
 }
 
 void Statevector::apply_swap(int a, int b) {
+  assert(a >= 0 && a < num_qubits_);
+  assert(b >= 0 && b < num_qubits_);
   assert(a != b);
-  const std::size_t abit = std::size_t{1} << a;
-  const std::size_t bbit = std::size_t{1} << b;
-  const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    // Swap |..1..0..> with |..0..1..>; visit each pair once.
-    if ((i & abit) != 0 && (i & bbit) == 0) {
-      std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
-    }
-  }
+  kernels::active().apply_swap(amps_.data(), amps_.size(), a, b);
+}
+
+void Statevector::apply_diagonal_run(const kernels::DiagonalRun& run) {
+  kernels::apply_diagonal_run(amps_.data(), amps_.size(), num_qubits_, run);
 }
 
 double Statevector::expectation_z(int qubit) const {
   assert(qubit >= 0 && qubit < num_qubits_);
-  const std::size_t bit = std::size_t{1} << qubit;
-  double s = 0.0;
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    const double p = std::norm(amps_[i]);
-    s += (i & bit) ? -p : p;
-  }
-  return s;
+  return kernels::active().expectation_z(amps_.data(), amps_.size(), qubit);
 }
 
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> p(amps_.size());
-  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  kernels::active().probabilities(amps_.data(), amps_.size(), p.data());
   return p;
 }
 
@@ -140,11 +105,7 @@ double Statevector::expectation_diag(const std::vector<double>& diag) const {
 
 cplx Statevector::inner(const Statevector& a, const Statevector& b) {
   assert(a.dim() == b.dim());
-  cplx s{0.0, 0.0};
-  for (std::size_t i = 0; i < a.dim(); ++i) {
-    s += std::conj(a[i]) * b[i];
-  }
-  return s;
+  return kernels::active().inner(a.amps_.data(), b.amps_.data(), a.dim());
 }
 
 }  // namespace sqvae::qsim

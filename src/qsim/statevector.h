@@ -4,11 +4,17 @@
 // index, i.e. basis state |b_{n-1} ... b_1 b_0> has index sum b_q 2^q and
 // qubit 0 is the least significant bit. This matches the tensor-order used
 // throughout the embedding and measurement code.
+//
+// All amplitude loops delegate to the runtime-dispatched kernel layer
+// (qsim/kernels.h): scalar reference kernels or AVX2+FMA, selected once at
+// startup, so every caller — interpreter, executor, adjoint sweep,
+// stochastic backends — runs the same vectorised code.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "qsim/kernels.h"
 #include "qsim/types.h"
 
 namespace sqvae::qsim {
@@ -57,6 +63,10 @@ class Statevector {
 
   /// SWAP of two qubits.
   void apply_swap(int a, int b);
+
+  /// Applies a fused diagonal run (see kernels::DiagonalRun) in one
+  /// elementwise pass.
+  void apply_diagonal_run(const kernels::DiagonalRun& run);
 
   /// <psi| Z_q |psi> in [-1, 1] for normalised states.
   double expectation_z(int qubit) const;

@@ -248,6 +248,86 @@ TEST(CircuitExecutor, AdjointBatchMatchesAdjointGradient) {
   }
 }
 
+TEST(CircuitExecutor, CoalescesAdjacentDiagonalStepsIntoOneRun) {
+  // RZ on every wire + CZ ring + CRZ are all diagonal: however the fusion
+  // pass interleaves the flushed per-wire RZ steps with the CZs, the whole
+  // prefix must collapse into ONE kDiagonal plan step; the trailing RY
+  // layer (non-diagonal) stays separate.
+  const int qubits = 4;
+  Circuit c(qubits);
+  for (int q = 0; q < qubits; ++q) c.rz(q, Param::slot(q));
+  for (int q = 0; q < qubits; ++q) c.cz(q, (q + 1) % qubits);
+  c.crz(0, 2, Param::slot(qubits));
+  for (int q = 0; q < qubits; ++q) c.ry(q, Param::slot(qubits + 1 + q));
+  CircuitExecutor exec(c);
+
+  EXPECT_EQ(exec.num_diag_steps(), 1u);
+  // Plan: one diagonal run + one fused RY per wire.
+  EXPECT_EQ(exec.num_plan_ops(), static_cast<std::size_t>(1 + qubits));
+
+  Rng rng(51);
+  const auto params = random_params(c.num_param_slots(), rng);
+  Statevector initial = random_state(qubits, rng);
+  Statevector naive = initial;
+  run(c, params, naive);
+  Statevector fused = initial;
+  exec.run(params, fused);
+  expect_states_close(naive, fused);
+}
+
+TEST(CircuitExecutor, ConstantDiagonalRunPrebindsItsTable) {
+  // A fully-constant diagonal run (S, T, Z, constant RZ/CRZ, CZ) binds
+  // nothing per sample and must still match the interpreter.
+  Circuit c(3);
+  c.s(0).t(1).z(2).rz(0, Param::value(0.4));
+  c.cz(0, 1);
+  c.crz(1, 2, Param::value(-0.9));
+  CircuitExecutor exec(c);
+  EXPECT_EQ(exec.num_param_slots(), 0);
+  EXPECT_EQ(exec.num_diag_steps(), 1u);
+  EXPECT_EQ(exec.num_plan_ops(), 1u);
+  expect_states_close(run_from_zero(c, {}), exec.run_from_zero({}));
+}
+
+TEST(CircuitExecutor, LoneDiagonalStepIsNotCoalesced) {
+  // A single diagonal step between non-diagonal neighbours keeps its
+  // specialised kernel — a phase-table pass would only add overhead.
+  Circuit c(2);
+  c.ry(0, Param::slot(0)).cz(0, 1).ry(1, Param::slot(1));
+  CircuitExecutor exec(c);
+  EXPECT_EQ(exec.num_diag_steps(), 0u);
+  EXPECT_EQ(exec.num_plan_ops(), 3u);
+}
+
+TEST(CircuitExecutor, DiagonalRunRebindsPerSample) {
+  // Slot-dependent diagonal runs must track their parameters across
+  // repeated run() calls and inside run_batch().
+  const int qubits = 3;
+  Circuit c(qubits);
+  for (int q = 0; q < qubits; ++q) c.rz(q, Param::slot(q));
+  c.cz(0, 1).cz(1, 2);
+  c.h(0);  // stop the run so the plan is diag + H
+  CircuitExecutor exec(c);
+  ASSERT_EQ(exec.num_diag_steps(), 1u);
+
+  Rng rng(52);
+  const std::size_t batch = 6;
+  std::vector<std::vector<double>> params(batch);
+  std::vector<Statevector> states;
+  states.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    params[i] = random_params(c.num_param_slots(), rng);
+    states.push_back(random_state(qubits, rng));
+  }
+  std::vector<Statevector> batched = states;
+  exec.run_batch(params, batched);
+  for (std::size_t i = 0; i < batch; ++i) {
+    Statevector naive = states[i];
+    run(c, params[i], naive);
+    expect_states_close(naive, batched[i]);
+  }
+}
+
 TEST(CircuitExecutor, ConstantOnlyCircuitPrebindsEveryStep) {
   // A circuit with no slots re-binds nothing per sample; results must still
   // match the interpreter exactly.

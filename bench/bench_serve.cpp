@@ -1,0 +1,271 @@
+// Serving micro-benchmark: per-request dispatch vs micro-batched dispatch
+// through the InferenceService, written as JSON (default
+// BENCH_serve_micro.json, --json=PATH) for the CI bench-regression gate.
+//
+// A/B per client count (1, 4, --clients): the same request stream served
+// "serial" — one worker, max_batch = 1, i.e. the pre-serving status quo of
+// answering one request at a time — vs "micro-batched" — a worker per
+// hardware thread with max_batch = --max_batch, so concurrent requests
+// coalesce into shared tapes and shared CircuitExecutor::run_batch calls.
+// Clients are synchronous (submit, block on the future, repeat): a single
+// client can never coalesce (its row measures pure queue overhead,
+// expected ~1.0x), N clients form batches up to N. Reported: p50/p99
+// request latency and aggregate throughput.
+//
+// The speedup is partly hardware-bound (more cores = more workers and more
+// parallel statevectors inside one batched run_batch call), so the JSON
+// carries hardware_threads and ci/bench_gate.py tiers the bar like the
+// train gate: the >= 2.0x requirement applies to >= 4-core runners; a
+// single-core container only sees the coalescing amortisation (shared
+// tape, shared dispatch; ~1.25x measured), which still clears a lower bar.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace sqvae;
+
+struct Percentiles {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+Percentiles percentiles(std::vector<double>& latencies_ms) {
+  Percentiles p;
+  if (latencies_ms.empty()) return p;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto at = [&](double q) {
+    const std::size_t idx = std::min(
+        latencies_ms.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies_ms.size())));
+    return latencies_ms[idx];
+  };
+  p.p50_ms = at(0.50);
+  p.p99_ms = at(0.99);
+  return p;
+}
+
+struct RunStats {
+  double rps = 0.0;
+  Percentiles latency;
+};
+
+/// `clients` synchronous threads, `per_client` reconstruct requests each.
+RunStats run_load(serve::ModelRegistry& registry, const serve::ServeConfig& cfg,
+                  const std::vector<std::vector<double>>& payloads,
+                  int clients, int per_client) {
+  serve::InferenceService service(registry, cfg);
+
+  // Warm-up: replica construction must happen outside the timed window on
+  // every worker that the timed load will engage. Sequential requests all
+  // land on one worker (and with coalescing, one worker can swallow a
+  // whole concurrent wave as a single batch), so warm with the same
+  // closed-loop shape as the measurement: cfg.threads blocking clients,
+  // several requests each, keeping multiple batches in flight.
+  {
+    std::vector<std::thread> warmers;
+    for (int w = 0; w < std::max(cfg.threads, 2); ++w) {
+      warmers.emplace_back([&] {
+        for (int i = 0; i < 8; ++i) service.reconstruct(payloads[0], 0);
+      });
+    }
+    for (std::thread& t : warmers) t.join();
+  }
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double>& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const std::vector<double>& x =
+            payloads[static_cast<std::size_t>(c + i) % payloads.size()];
+        Stopwatch request;
+        const serve::InferenceResult result = service.reconstruct(
+            x, static_cast<std::uint64_t>(c) * 1000 +
+                   static_cast<std::uint64_t>(i));
+        mine.push_back(request.seconds() * 1e3);
+        if (!result.ok) {
+          std::fprintf(stderr, "request failed: %s\n", result.error.c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = wall.seconds();
+  service.shutdown();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  RunStats stats;
+  stats.rps = static_cast<double>(clients) *
+              static_cast<double>(per_client) / seconds;
+  stats.latency = percentiles(all);
+  return stats;
+}
+
+/// Best-of-N wrapper: container/runner jitter hits a short throughput run
+/// hard, so each configuration is measured `reps` times and the run with
+/// the highest throughput is reported (the standard bench convention for
+/// contended machines — the best run is the least-perturbed one).
+RunStats best_of(serve::ModelRegistry& registry, const serve::ServeConfig& cfg,
+                 const std::vector<std::vector<double>>& payloads, int clients,
+                 int per_client, int reps) {
+  RunStats best;
+  for (int r = 0; r < reps; ++r) {
+    RunStats stats = run_load(registry, cfg, payloads, clients, per_client);
+    if (stats.rps > best.rps) best = stats;
+  }
+  return best;
+}
+
+struct AbRow {
+  int clients = 0;
+  int requests = 0;
+  std::size_t max_batch = 0;
+  RunStats serial;
+  RunStats batched;
+
+  double speedup() const {
+    return serial.rps > 0.0 ? batched.rps / serial.rps : 0.0;
+  }
+};
+
+void write_json(const std::string& path, const std::vector<AbRow>& rows,
+                int workers) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"benchmark\": \"serve_micro/dispatch_ab\",\n"
+      "  \"unit\": \"ms\",\n"
+      "  \"description\": \"InferenceService throughput/latency: "
+      "single-worker per-request dispatch vs multi-worker micro-batched "
+      "dispatch, sq-ae digits model, synchronous clients\",\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"workers\": %d,\n"
+      "  \"rows\": [\n",
+      std::thread::hardware_concurrency(), workers);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AbRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"clients\": %d, \"requests\": %d, \"max_batch\": %zu, "
+        "\"serial_rps\": %.2f, \"batched_rps\": %.2f, "
+        "\"serial_p50_ms\": %.4f, \"serial_p99_ms\": %.4f, "
+        "\"batched_p50_ms\": %.4f, \"batched_p99_ms\": %.4f, "
+        "\"speedup\": %.3f}%s\n",
+        r.clients, r.requests, r.max_batch, r.serial.rps, r.batched.rps,
+        r.serial.latency.p50_ms, r.serial.latency.p99_ms,
+        r.batched.latency.p50_ms, r.batched.latency.p99_ms, r.speedup(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(json written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  flags.add_string("json", "BENCH_serve_micro.json", "JSON report path");
+  flags.add_int("clients", 8, "largest client-thread count in the sweep");
+  flags.add_int("max_batch", 16, "micro-batch cap of the batched side");
+  flags.add_int("requests", 0,
+                "requests per client (0 = auto: 200 small / 600 paper)");
+  flags.add_int("reps", 3, "repetitions per configuration (best-of)");
+  if (!bench::parse_or_die(flags, argc, argv)) return 0;
+  const bench::BenchScale scale = bench::scale_from_flags(flags);
+
+  // A trained-shape sq-ae on the digits geometry; serving throughput does
+  // not depend on the parameter values, so fresh weights snapshot directly.
+  serve::ModelSpec spec;
+  spec.kind = "sq-ae";
+  spec.input_dim = 64;
+  spec.patches = 2;
+  spec.entangling_layers = 2;
+  std::string error;
+  std::unique_ptr<models::Autoencoder> model =
+      serve::build_model(spec, &error);
+  if (model == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  serve::ModelRegistry registry;
+  registry.publish("default", serve::LoadedModel::from_model(spec, *model));
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  std::vector<std::vector<double>> payloads(16);
+  for (auto& row : payloads) {
+    row.resize(spec.input_dim);
+    for (double& v : row) v = rng.uniform();
+  }
+
+  int per_client = static_cast<int>(flags.get_int("requests"));
+  if (per_client <= 0) per_client = scale.paper ? 600 : 200;
+  const int max_clients = std::max(4, static_cast<int>(flags.get_int("clients")));
+  const std::size_t max_batch =
+      static_cast<std::size_t>(flags.get_int("max_batch"));
+  int workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0) workers = 1;
+
+  serve::ServeConfig serial_cfg;
+  serial_cfg.max_batch = 1;
+  serial_cfg.max_batch_wait_us = 0;
+  serial_cfg.threads = 1;  // the one-request-at-a-time status quo
+  serve::ServeConfig batched_cfg;
+  batched_cfg.max_batch = max_batch;
+  batched_cfg.max_batch_wait_us = 0;  // closed-loop clients: see batch_queue.h
+  batched_cfg.threads = workers;
+
+  std::vector<int> client_counts = {1, 4};
+  if (max_clients != 4 && max_clients != 1) client_counts.push_back(max_clients);
+
+  std::vector<AbRow> rows;
+  for (int clients : client_counts) {
+    AbRow row;
+    row.clients = clients;
+    row.requests = per_client;
+    row.max_batch = max_batch;
+    row.serial = best_of(registry, serial_cfg, payloads, clients, per_client,
+                         static_cast<int>(flags.get_int("reps")));
+    row.batched = best_of(registry, batched_cfg, payloads, clients, per_client,
+                          static_cast<int>(flags.get_int("reps")));
+    rows.push_back(row);
+  }
+
+  Table table({"clients", "serial_rps", "batched_rps", "serial_p50_ms",
+               "batched_p50_ms", "serial_p99_ms", "batched_p99_ms",
+               "speedup"});
+  for (const AbRow& r : rows) {
+    table.add_row({std::to_string(r.clients), Table::fmt(r.serial.rps, 1),
+                   Table::fmt(r.batched.rps, 1),
+                   Table::fmt(r.serial.latency.p50_ms, 3),
+                   Table::fmt(r.batched.latency.p50_ms, 3),
+                   Table::fmt(r.serial.latency.p99_ms, 3),
+                   Table::fmt(r.batched.latency.p99_ms, 3),
+                   Table::fmt(r.speedup(), 3)});
+  }
+  bench::emit("Serving dispatch A/B (sq-ae, digits geometry)", table, flags);
+
+  write_json(flags.get_string("json"), rows, workers);
+  return 0;
+}

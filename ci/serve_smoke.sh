@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Serve smoke test (CI step; also runs locally): trains one epoch on the
+# digits scenario, checkpoints, pipes requests through the real
+# micro-batched sqvae_serve server, and diffs the output byte-for-byte
+# against --reference mode — which answers the same requests through
+# in-process Autoencoder calls (serve::execute_single) with no queue, no
+# workers, no batching. Identical bytes = the serving stack reproduced the
+# model's own output exactly, which is the subsystem's determinism
+# contract end to end (train -> checkpoint -> load_params_only -> serve).
+#
+# Usage: ci/serve_smoke.sh [BUILD_DIR]
+set -eu
+
+BUILD="${1:-build}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== serve smoke: training 1 epoch on digits =="
+"$BUILD/sqvae_train" --scenario=digits --model=sq-ae --epochs=1 \
+  --samples=96 --layers=2 --patches=2 --checkpoint="$WORK/smoke.ckpt" \
+  --seed=11
+
+echo "== serve smoke: building requests =="
+python3 - "$WORK/requests.jsonl" <<'EOF'
+import math
+import sys
+
+x = [round(0.5 + 0.45 * math.sin(0.31 * i), 6) for i in range(64)]
+z = [round(0.2 * math.cos(0.7 * i), 6) for i in range(10)]  # LSD(64, 2) = 10
+lines = [
+    '{"op": "encode", "id": 1, "seed": 101, "x": %s}' % x,
+    '{"op": "reconstruct", "id": 2, "seed": 102, "x": %s}' % x,
+    '{"op": "decode", "id": 3, "seed": 103, "x": %s}' % z,
+]
+with open(sys.argv[1], "w") as f:
+    f.write("\n".join(lines) + "\n")
+EOF
+
+SERVE_FLAGS="--checkpoint=$WORK/smoke.ckpt --model=sq-ae --input_dim=64 \
+  --layers=2 --patches=2"
+
+echo "== serve smoke: micro-batched server =="
+"$BUILD/sqvae_serve" $SERVE_FLAGS --max_batch=8 --threads=2 \
+  < "$WORK/requests.jsonl" > "$WORK/served.out"
+cat "$WORK/served.out"
+
+echo "== serve smoke: in-process reference =="
+"$BUILD/sqvae_serve" $SERVE_FLAGS --reference \
+  < "$WORK/requests.jsonl" > "$WORK/reference.out"
+
+diff -u "$WORK/served.out" "$WORK/reference.out"
+echo "serve smoke passed: served output is byte-identical to the in-process reference"

@@ -1,0 +1,373 @@
+// sqvae_serve: batched inference serving over a line protocol.
+//
+// Loads a checkpoint (any file sqvae_train writes; training state is
+// ignored — models/checkpoint.h load_params_only) into an immutable
+// LoadedModel, publishes it as "default" in a ModelRegistry, and answers
+// encode / decode / reconstruct / latent_sample requests through the
+// micro-batching InferenceService. One JSON-ish request per line in, one
+// response per line out (see src/serve/protocol.h for the exact format).
+//
+// Transports:
+//   * stdin/stdout (default) — requests are submitted as they are read and
+//     responses printed in request order, so a fast piped client exercises
+//     real micro-batch coalescing;
+//   * TCP (--port=N) — one thread per connection, each handling its
+//     connection's requests in order; concurrent connections coalesce into
+//     shared micro-batches. Runs until killed.
+//
+// --reference bypasses the service stack entirely and answers each request
+// in-process through serve::execute_single — the determinism contract's
+// reference implementation. Piping the same requests through a normal
+// (multi-worker, micro-batched) server and through --reference must
+// produce byte-identical output; ci/serve_smoke.sh diffs exactly that
+// against a freshly trained checkpoint.
+//
+// Examples:
+//   sqvae_serve --checkpoint=run.ckpt --input_dim=64 < requests.jsonl
+//   sqvae_serve --checkpoint=run.ckpt --input_dim=64 --port=7071
+//   echo '{"op": "encode", "x": [...]}' | sqvae_serve --checkpoint=run.ckpt
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define SQVAE_SERVE_HAS_TCP 1
+#endif
+
+namespace {
+
+using namespace sqvae;
+
+serve::ModelSpec spec_from_flags(const Flags& flags) {
+  serve::ModelSpec spec;
+  spec.kind = flags.get_string("model");
+  spec.input_dim = static_cast<std::size_t>(flags.get_int("input_dim"));
+  spec.entangling_layers = static_cast<int>(flags.get_int("layers"));
+  spec.patches = static_cast<int>(flags.get_int("patches"));
+  spec.latent = static_cast<std::size_t>(flags.get_int("latent"));
+  const std::string backend = flags.get_string("backend");
+  if (backend == "statevector") {
+    spec.sim.backend = qsim::BackendKind::kStatevector;
+  } else if (backend == "trajectory") {
+    spec.sim.backend = qsim::BackendKind::kTrajectory;
+  } else if (backend == "shots") {
+    spec.sim.backend = qsim::BackendKind::kShotSampling;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --backend=%s (statevector, trajectory, shots)\n",
+                 backend.c_str());
+    std::exit(2);
+  }
+  spec.sim.shots = static_cast<std::size_t>(flags.get_int("shots"));
+  spec.sim.noise.gate_error = flags.get_double("gate_error");
+  spec.sim.seed = static_cast<std::uint64_t>(flags.get_int("sim_seed"));
+  return spec;
+}
+
+/// One response slot: either a pre-rendered line (parse failures resolve
+/// immediately) or a pending future, kept in request order.
+struct Slot {
+  bool immediate = false;
+  std::string line;
+  serve::WireRequest request;
+  std::future<serve::InferenceResult> future;
+};
+
+/// Serves one request stream in order; shared by stdin mode and each TCP
+/// connection. A reader/writer pair: the reader keeps submitting requests
+/// while earlier ones execute (so a fast pipelined client gets real
+/// micro-batch coalescing), and a dedicated writer thread emits responses
+/// in request order *as they resolve* — a closed-loop client that waits
+/// for each response before sending the next therefore always gets it,
+/// even while the reader is blocked on the next input line.
+void serve_stream(serve::InferenceService& service, std::istream& in,
+                  std::ostream& out) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Slot> slots;
+  bool done = false;
+
+  std::thread writer([&] {
+    while (true) {
+      Slot slot;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done || !slots.empty(); });
+        if (slots.empty()) return;
+        slot = std::move(slots.front());
+        slots.pop_front();
+      }
+      if (slot.immediate) {
+        out << slot.line << '\n';
+      } else {
+        // Blocking on the oldest future is correct: responses must be
+        // emitted in request order anyway.
+        out << serve::format_response(slot.request, slot.future.get())
+            << '\n';
+      }
+      out.flush();
+    }
+  });
+
+  std::string line;
+  while (std::getline(in, line)) {
+    serve::WireRequest request;
+    std::string error;
+    Slot slot;
+    if (!serve::parse_request_line(line, &request, &error)) {
+      if (error.empty()) continue;  // blank line
+      slot.immediate = true;
+      slot.line = serve::format_parse_error(error);
+    } else {
+      slot.future = service.submit(request.model, request.endpoint,
+                                   std::move(request.x), request.seed);
+      // x was just moved out, so the slot keeps only the small fields the
+      // response needs (op/id) — not a second copy of the payload.
+      slot.request = std::move(request);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      slots.push_back(std::move(slot));
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_one();
+  writer.join();
+}
+
+/// --reference: answers each request in-process, no queue, no workers.
+int run_reference(const std::shared_ptr<const serve::LoadedModel>& loaded,
+                  std::istream& in, std::ostream& out) {
+  std::unique_ptr<models::Autoencoder> replica = loaded->make_replica();
+  if (replica == nullptr) {
+    std::fprintf(stderr, "internal error: replica build failed\n");
+    return 1;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    serve::WireRequest request;
+    std::string error;
+    if (!serve::parse_request_line(line, &request, &error)) {
+      if (error.empty()) continue;
+      out << serve::format_parse_error(error) << '\n';
+      continue;
+    }
+    const serve::InferenceResult result = serve::execute_single(
+        *loaded, *replica, request.endpoint, request.x, request.seed);
+    out << serve::format_response(request, result) << '\n';
+  }
+  out.flush();
+  return 0;
+}
+
+#ifdef SQVAE_SERVE_HAS_TCP
+/// Minimal istream/ostream pair over a connected socket.
+class SocketStreambuf : public std::streambuf {
+ public:
+  explicit SocketStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+  ~SocketStreambuf() override { sync(); }
+
+ protected:
+  int underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof(in_));
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+  int overflow(int c) override {
+    if (sync() != 0) return traits_type::eof();
+    if (c != traits_type::eof()) {
+      *pptr() = traits_type::to_char_type(c);
+      pbump(1);
+    }
+    return c;
+  }
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+int run_tcp(serve::InferenceService& service, int port) {
+  // A client that disconnects before reading its response must not kill
+  // the server: writes to its dead socket return EPIPE (ending that
+  // handler's stream) instead of raising fatal SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 64) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "sqvae_serve: listening on 127.0.0.1:%d\n", port);
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      // Transient failures (EINTR, EMFILE under load, a connection that
+      // aborted between queueing and accept) must not stop a server that
+      // is documented to run until killed — and must never tear down
+      // `service` while detached handler threads still use it. Back off
+      // briefly and keep accepting.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    // Detached: handler threads end with their connection, so a
+    // long-running server never accumulates joinable thread handles. The
+    // server runs until the process is killed, which also reaps any
+    // still-open connections; `service` outlives the accept loop in
+    // main(), so the reference stays valid for every handler.
+    std::thread([&service, fd] {
+      SocketStreambuf buf(fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      serve_stream(service, in, out);
+      ::close(fd);
+    }).detach();
+  }
+}
+#endif  // SQVAE_SERVE_HAS_TCP
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  // Model spec (must match the checkpoint's architecture).
+  flags.add_string("checkpoint", "", "checkpoint path (v1 or v2; required)");
+  flags.add_string("model", "sq-ae",
+                   "classical-ae, classical-vae, fbq-ae, fbq-vae, hbq-ae, "
+                   "hbq-vae, sq-ae, sq-vae");
+  flags.add_int("input_dim", 64, "model input dimension");
+  flags.add_int("layers", 3, "entangling layers per circuit");
+  flags.add_int("patches", 2, "patch count (sq-ae / sq-vae)");
+  flags.add_int("latent", 6, "latent dimension (classical models)");
+  // Simulation regime.
+  flags.add_string("backend", "statevector",
+                   "measurement regime: statevector, trajectory, shots");
+  flags.add_int("shots", 1024, "shots / trajectories per estimate");
+  flags.add_double("gate_error", 0.0,
+                   "per-gate Pauli error rate (trajectory backend)");
+  flags.add_int("sim_seed", 0x5eed, "backend stream base seed");
+  // Serving knobs.
+  flags.add_int("max_batch", 16, "micro-batch size cap (1 = no batching)");
+  flags.add_int("max_wait_us", 0,
+                "micro-batch straggler wait in microseconds (0 = "
+                "opportunistic coalescing only)");
+  flags.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  flags.add_int("max_queue", 1024,
+                "queued-request bound; submission blocks when full "
+                "(backpressure; 0 = unbounded)");
+  flags.add_int("port", 0, "TCP port on 127.0.0.1 (0 = stdin/stdout mode)");
+  flags.add_bool("reference", false,
+                 "answer requests in-process without the service stack (the "
+                 "determinism reference; for diffing)");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const std::string checkpoint = flags.get_string("checkpoint");
+  if (checkpoint.empty()) {
+    std::fprintf(stderr, "--checkpoint is required\n");
+    return 2;
+  }
+  const serve::ModelSpec spec = spec_from_flags(flags);
+  std::string error;
+  const std::shared_ptr<const serve::LoadedModel> loaded =
+      serve::LoadedModel::from_checkpoint_file(spec, checkpoint, &error);
+  if (loaded == nullptr) {
+    std::fprintf(stderr, "sqvae_serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (flags.get_bool("reference")) {
+    return run_reference(loaded, std::cin, std::cout);
+  }
+
+  serve::ModelRegistry registry;
+  registry.publish("default", loaded);
+  serve::ServeConfig config;
+  config.max_batch = static_cast<std::size_t>(flags.get_int("max_batch"));
+  config.max_batch_wait_us =
+      static_cast<std::uint64_t>(flags.get_int("max_wait_us"));
+  config.threads = static_cast<int>(flags.get_int("threads"));
+  config.max_queue = static_cast<std::size_t>(flags.get_int("max_queue"));
+  serve::InferenceService service(registry, config);
+
+  int status = 0;
+  const int port = static_cast<int>(flags.get_int("port"));
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--port=%d is out of range (1-65535, 0 = stdin)\n",
+                 port);
+    return 2;
+  }
+  if (port != 0) {
+#ifdef SQVAE_SERVE_HAS_TCP
+    status = run_tcp(service, port);
+#else
+    std::fprintf(stderr, "TCP mode is not available on this platform\n");
+    status = 2;
+#endif
+  } else {
+    serve_stream(service, std::cin, std::cout);
+  }
+
+  service.shutdown();
+  std::fprintf(stderr,
+               "sqvae_serve: %llu request(s) in %llu batch(es), "
+               "%d worker(s), max_batch %zu\n",
+               static_cast<unsigned long long>(service.queue().total_requests()),
+               static_cast<unsigned long long>(service.queue().total_batches()),
+               service.num_workers(), config.max_batch);
+  return status;
+}

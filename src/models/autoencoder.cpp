@@ -32,6 +32,18 @@ Matrix Autoencoder::reconstruct(const Matrix& batch, sqvae::Rng& rng) {
   return tape.value(fwd.reconstruction);
 }
 
+Matrix Autoencoder::encode_values(const Matrix& batch) {
+  Tape tape;
+  Var z = encode_mean(tape, tape.constant(batch));
+  return tape.value(z);
+}
+
+Matrix Autoencoder::decode_values(const Matrix& z) {
+  Tape tape;
+  Var out = decode(tape, tape.constant(z));
+  return tape.value(out);
+}
+
 double Autoencoder::evaluate_mse(const Matrix& data, sqvae::Rng& rng) {
   const Matrix recon = reconstruct(data, rng);
   return recon.mse(data);

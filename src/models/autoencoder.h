@@ -54,6 +54,12 @@ class Autoencoder {
   /// Generator network: latent batch -> feature batch.
   virtual Var decode(Tape& tape, Var z) = 0;
 
+  /// Deterministic latent code of each input row: the encoder output for
+  /// plain AEs, the mean of q(z|x) for VAEs (the reparameterisation without
+  /// noise). One encoder API across the zoo — latent-space optimization and
+  /// the serving layer's `encode` endpoint both go through here.
+  virtual Var encode_mean(Tape& tape, Var input) = 0;
+
   virtual std::size_t input_dim() const = 0;
   virtual std::size_t latent_dim() const = 0;
   virtual bool is_generative() const = 0;
@@ -90,6 +96,12 @@ class Autoencoder {
 
   /// Inference-mode reconstruction (graph built and discarded).
   Matrix reconstruct(const Matrix& batch, sqvae::Rng& rng);
+
+  /// Inference-mode deterministic latent codes (encode_mean, no tape kept).
+  Matrix encode_values(const Matrix& batch);
+
+  /// Inference-mode decode: latent batch -> feature batch (no tape kept).
+  Matrix decode_values(const Matrix& z);
 
   /// Mean reconstruction MSE over a dataset, inference mode.
   double evaluate_mse(const Matrix& data, sqvae::Rng& rng);

@@ -64,6 +64,12 @@ Var BaselineQuantumAutoencoder::encode(Tape& tape, Var input) {
   return h;
 }
 
+Var BaselineQuantumAutoencoder::encode_mean(Tape& tape, Var input) {
+  Var h = encode(tape, input);
+  if (config_.generative) return mu_head_->forward(tape, h);
+  return h;
+}
+
 ForwardResult BaselineQuantumAutoencoder::forward(Tape& tape, Var input,
                                                   sqvae::Rng& rng) {
   Var h = encode(tape, input);

@@ -58,6 +58,9 @@ class BaselineQuantumAutoencoder final : public Autoencoder {
   /// Encoder-only pass: input batch -> latent batch (tests, examples).
   Var encode(Tape& tape, Var input);
 
+  /// encode() for the AE variants; the mu head's output for the VAEs.
+  Var encode_mean(Tape& tape, Var input) override;
+
  private:
   BaselineQuantumConfig config_;
   QuantumLayer encoder_;

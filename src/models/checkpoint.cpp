@@ -11,13 +11,13 @@
 
 namespace sqvae::models {
 
-namespace {
-
-std::vector<ad::Parameter*> all_parameters(Autoencoder& model) {
+std::vector<ad::Parameter*> checkpoint_parameters(Autoencoder& model) {
   std::vector<ad::Parameter*> params = model.quantum_parameters();
   for (ad::Parameter* p : model.classical_parameters()) params.push_back(p);
   return params;
 }
+
+namespace {
 
 /// True when only whitespace remains on `in` — a checkpoint with trailing
 /// garbage (truncated tail of a concatenated file, stray bytes) must not
@@ -74,7 +74,7 @@ void commit_parameters(const std::vector<ad::Parameter*>& params,
 }  // namespace
 
 std::string checkpoint_to_text(Autoencoder& model) {
-  const auto params = all_parameters(model);
+  const auto params = checkpoint_parameters(model);
   std::ostringstream os;
   os << "sqvae-checkpoint 1\n";
   write_parameters(os, params);
@@ -89,7 +89,7 @@ bool checkpoint_from_text(const std::string& text, Autoencoder& model) {
       version != 1) {
     return false;
   }
-  const auto params = all_parameters(model);
+  const auto params = checkpoint_parameters(model);
   std::vector<Matrix> staged;
   if (!read_parameters(in, params, staged)) return false;
   if (!at_clean_end(in)) return false;
@@ -99,7 +99,7 @@ bool checkpoint_from_text(const std::string& text, Autoencoder& model) {
 
 std::string checkpoint_to_text_v2(Autoencoder& model,
                                   const TrainState& state) {
-  const auto params = all_parameters(model);
+  const auto params = checkpoint_parameters(model);
   std::ostringstream os;
   os << "sqvae-checkpoint 2\n";
   write_parameters(os, params);
@@ -127,7 +127,7 @@ bool checkpoint_from_text_v2(const std::string& text, Autoencoder& model,
       version != 2) {
     return false;
   }
-  const auto params = all_parameters(model);
+  const auto params = checkpoint_parameters(model);
   std::vector<Matrix> staged;
   if (!read_parameters(in, params, staged)) return false;
 
@@ -189,6 +189,33 @@ bool checkpoint_from_text_v2(const std::string& text, Autoencoder& model,
   state.best_metric = parsed.best_metric;
   state.epochs_since_improvement = parsed.epochs_since_improvement;
   return true;
+}
+
+bool load_params_only(const std::string& text, Autoencoder& model) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "sqvae-checkpoint" ||
+      (version != 1 && version != 2)) {
+    return false;
+  }
+  const auto params = checkpoint_parameters(model);
+  std::vector<Matrix> staged;
+  if (!read_parameters(in, params, staged)) return false;
+  // v2 training state (epoch/best/optimizer/rng blocks) is ignored here —
+  // see the header contract. v1 ends at the parameters, so trailing bytes
+  // still mean a corrupt file.
+  if (version == 1 && !at_clean_end(in)) return false;
+  commit_parameters(params, staged);
+  return true;
+}
+
+bool load_params_checkpoint(const std::string& path, Autoencoder& model) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return load_params_only(buffer.str(), model);
 }
 
 bool write_file_atomic(const std::string& path, const std::string& text) {

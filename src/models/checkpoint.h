@@ -54,6 +54,12 @@ struct TrainState {
   std::size_t epochs_since_improvement = 0;
 };
 
+/// The parameter list in checkpoint order (quantum first, then
+/// classical) — the ordering contract every checkpoint format version and
+/// every parameter snapshot (serve::LoadedModel) must agree on. Defined
+/// once here so consumers cannot drift.
+std::vector<ad::Parameter*> checkpoint_parameters(Autoencoder& model);
+
 /// Serialises parameters in order (quantum first, then classical). v1.
 std::string checkpoint_to_text(Autoencoder& model);
 
@@ -77,6 +83,21 @@ bool checkpoint_from_text_v2(const std::string& text, Autoencoder& model,
 /// every checkpoint save; exposed for other writers of resume-critical
 /// files.
 bool write_file_atomic(const std::string& path, const std::string& text);
+
+/// Inference-only load: restores the parameter block of a v1 *or* v2
+/// checkpoint into `model` and ignores any v2 training state. Unlike
+/// checkpoint_from_text_v2 it requires no attached optimizer/rng objects
+/// and accepts files whose Adam moments were stripped (an "optimizer 0"
+/// block), so a serving process can load training checkpoints without
+/// carrying optimizer machinery. The parameter block is still validated
+/// shape-by-shape (all-or-nothing on failure); everything after it in a v2
+/// file is deliberately not parsed — a truncated *training* tail must not
+/// prevent serving the parameters, which are already complete. v1 files
+/// keep the strict trailing-garbage check (they end at the parameters).
+bool load_params_only(const std::string& text, Autoencoder& model);
+
+/// File convenience wrapper for load_params_only.
+bool load_params_checkpoint(const std::string& path, Autoencoder& model);
 
 /// File convenience wrappers (v1).
 bool save_checkpoint(Autoencoder& model, const std::string& path);

@@ -59,6 +59,10 @@ ForwardResult ClassicalAe::forward(Tape& tape, Var input, sqvae::Rng&) {
   return ForwardResult{decode(tape, z), std::nullopt, std::nullopt};
 }
 
+Var ClassicalAe::encode_mean(Tape& tape, Var input) {
+  return encoder_.forward(tape, input);
+}
+
 Var ClassicalAe::decode(Tape& tape, Var z) {
   return decoder_.forward(tape, z);
 }
@@ -93,6 +97,11 @@ ForwardResult ClassicalVae::forward(Tape& tape, Var input, sqvae::Rng& rng) {
 
 Var ClassicalVae::decode(Tape& tape, Var z) {
   return decoder_.forward(tape, z);
+}
+
+Var ClassicalVae::encode_mean(Tape& tape, Var input) {
+  Var h = tape.relu(encoder_trunk_.forward(tape, input));
+  return mu_head_.forward(tape, h);
 }
 
 std::vector<ad::Parameter*> ClassicalVae::classical_parameters() {

@@ -31,6 +31,7 @@ class ClassicalAe final : public Autoencoder {
 
   ForwardResult forward(Tape& tape, Var input, sqvae::Rng& rng) override;
   Var decode(Tape& tape, Var z) override;
+  Var encode_mean(Tape& tape, Var input) override;
   std::size_t input_dim() const override { return config_.input_dim; }
   std::size_t latent_dim() const override { return config_.latent_dim; }
   bool is_generative() const override { return false; }
@@ -49,6 +50,7 @@ class ClassicalVae final : public Autoencoder {
 
   ForwardResult forward(Tape& tape, Var input, sqvae::Rng& rng) override;
   Var decode(Tape& tape, Var z) override;
+  Var encode_mean(Tape& tape, Var input) override;
   std::size_t input_dim() const override { return config_.input_dim; }
   std::size_t latent_dim() const override { return config_.latent_dim; }
   bool is_generative() const override { return true; }

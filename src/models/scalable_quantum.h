@@ -64,7 +64,7 @@ class ScalableQuantumAutoencoder final : public Autoencoder {
   /// Deterministic latent code: encode() for the AE; the mu head's output
   /// for the VAE (the mean of q(z|x), i.e. the reparameterisation without
   /// noise). This is the right seed for latent-space optimization.
-  Var encode_mean(Tape& tape, Var input);
+  Var encode_mean(Tape& tape, Var input) override;
 
   const ScalableQuantumConfig& config() const { return config_; }
 

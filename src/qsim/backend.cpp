@@ -369,6 +369,20 @@ std::size_t sample_from_cdf(const std::vector<double>& cdf, sqvae::Rng& rng) {
 
 // ---- SimulationBackend ----------------------------------------------------
 
+std::vector<std::vector<double>> SimulationBackend::expectations_z_batch(
+    const CircuitExecutor& exec,
+    const std::vector<std::vector<double>>& params_batch,
+    const std::vector<Statevector>& initials) {
+  return expectations_z_batch_at(exec, params_batch, initials, next_call());
+}
+
+std::vector<std::vector<double>> SimulationBackend::probabilities_batch(
+    const CircuitExecutor& exec,
+    const std::vector<std::vector<double>>& params_batch,
+    const std::vector<Statevector>& initials) {
+  return probabilities_batch_at(exec, params_batch, initials, next_call());
+}
+
 std::vector<double> SimulationBackend::expectations_z(
     const CircuitExecutor& exec, const std::vector<double>& params) {
   const std::vector<Statevector> initials(1, Statevector(exec.num_qubits()));
@@ -414,17 +428,17 @@ std::vector<std::vector<double>> exact_measurements(
 
 }  // namespace
 
-std::vector<std::vector<double>> StatevectorBackend::expectations_z_batch(
+std::vector<std::vector<double>> StatevectorBackend::expectations_z_batch_at(
     const CircuitExecutor& exec,
     const std::vector<std::vector<double>>& params_batch,
-    const std::vector<Statevector>& initials) {
+    const std::vector<Statevector>& initials, std::uint64_t) const {
   return exact_measurements(exec, params_batch, initials, false);
 }
 
-std::vector<std::vector<double>> StatevectorBackend::probabilities_batch(
+std::vector<std::vector<double>> StatevectorBackend::probabilities_batch_at(
     const CircuitExecutor& exec,
     const std::vector<std::vector<double>>& params_batch,
-    const std::vector<Statevector>& initials) {
+    const std::vector<Statevector>& initials, std::uint64_t) const {
   return exact_measurements(exec, params_batch, initials, true);
 }
 
@@ -458,20 +472,20 @@ std::vector<std::vector<double>> trajectory_measurements(
 
 }  // namespace
 
-std::vector<std::vector<double>> TrajectoryBackend::expectations_z_batch(
+std::vector<std::vector<double>> TrajectoryBackend::expectations_z_batch_at(
     const CircuitExecutor& exec,
     const std::vector<std::vector<double>>& params_batch,
-    const std::vector<Statevector>& initials) {
-  return trajectory_measurements(exec, params_batch, initials, options_,
-                                 calls_++, false);
+    const std::vector<Statevector>& initials, std::uint64_t call) const {
+  return trajectory_measurements(exec, params_batch, initials, options_, call,
+                                 false);
 }
 
-std::vector<std::vector<double>> TrajectoryBackend::probabilities_batch(
+std::vector<std::vector<double>> TrajectoryBackend::probabilities_batch_at(
     const CircuitExecutor& exec,
     const std::vector<std::vector<double>>& params_batch,
-    const std::vector<Statevector>& initials) {
-  return trajectory_measurements(exec, params_batch, initials, options_,
-                                 calls_++, true);
+    const std::vector<Statevector>& initials, std::uint64_t call) const {
+  return trajectory_measurements(exec, params_batch, initials, options_, call,
+                                 true);
 }
 
 TrajectoryEstimate TrajectoryBackend::expectations_z_with_stats(
@@ -486,7 +500,7 @@ TrajectoryEstimate TrajectoryBackend::expectations_z_with_stats(
   std::vector<double> sum_squares;
 
   TrajectoryEstimate estimate;
-  estimate.mean = trajectory_mean(sample, options_, calls_++, 0, false, n,
+  estimate.mean = trajectory_mean(sample, options_, next_call(), 0, false, n,
                                   chunk_rows, &sum_squares);
   estimate.std_error.assign(n, 0.0);
   if (options_.shots > 1) {
@@ -552,20 +566,19 @@ std::vector<std::vector<double>> shot_measurements(
 
 }  // namespace
 
-std::vector<std::vector<double>> ShotSamplingBackend::expectations_z_batch(
+std::vector<std::vector<double>> ShotSamplingBackend::expectations_z_batch_at(
     const CircuitExecutor& exec,
     const std::vector<std::vector<double>>& params_batch,
-    const std::vector<Statevector>& initials) {
-  return shot_measurements(exec, params_batch, initials, options_, calls_++,
+    const std::vector<Statevector>& initials, std::uint64_t call) const {
+  return shot_measurements(exec, params_batch, initials, options_, call,
                            false);
 }
 
-std::vector<std::vector<double>> ShotSamplingBackend::probabilities_batch(
+std::vector<std::vector<double>> ShotSamplingBackend::probabilities_batch_at(
     const CircuitExecutor& exec,
     const std::vector<std::vector<double>>& params_batch,
-    const std::vector<Statevector>& initials) {
-  return shot_measurements(exec, params_batch, initials, options_, calls_++,
-                           true);
+    const std::vector<Statevector>& initials, std::uint64_t call) const {
+  return shot_measurements(exec, params_batch, initials, options_, call, true);
 }
 
 }  // namespace sqvae::qsim

@@ -56,6 +56,7 @@
 // bench_gradient_variance.cpp.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -100,19 +101,41 @@ class SimulationBackend {
   /// Short human-readable name ("statevector", "trajectory", "shots").
   virtual const char* name() const = 0;
 
-  /// Per-sample per-qubit <Z> estimates. params_batch[i] runs from
-  /// initials[i] (pass |0...0> states for circuits without embedding).
-  /// Batched and OpenMP-parallel like CircuitExecutor::run_batch.
-  virtual std::vector<std::vector<double>> expectations_z_batch(
+  /// Per-sample per-qubit <Z> estimates with the stochastic stream's call
+  /// index supplied explicitly. params_batch[i] runs from initials[i]
+  /// (pass |0...0> states for circuits without embedding). Batched and
+  /// OpenMP-parallel like CircuitExecutor::run_batch.
+  ///
+  /// This is the *pure* half of the API: const, no backend state touched,
+  /// so any number of threads may execute through one shared backend
+  /// concurrently (the serving layer does), and replaying a call index
+  /// replays its exact randomness.
+  virtual std::vector<std::vector<double>> expectations_z_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) = 0;
+      const std::vector<Statevector>& initials, std::uint64_t call) const = 0;
 
-  /// Per-sample basis-state probability estimates (length 2^n each).
-  virtual std::vector<std::vector<double>> probabilities_batch(
+  /// Per-sample basis-state probability estimates (length 2^n each); pure,
+  /// like expectations_z_batch_at.
+  virtual std::vector<std::vector<double>> probabilities_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) = 0;
+      const std::vector<Statevector>& initials, std::uint64_t call) const = 0;
+
+  // ---- stateful conveniences (advance the call counter) -----------------
+  // Each call claims the next index of an atomic counter, so repeated
+  // batches see fresh randomness and concurrent callers never corrupt the
+  // counter. Concurrent *ordering* of the claims is scheduling-dependent,
+  // though — code that needs reproducible concurrency passes explicit call
+  // indices to the _at variants instead.
+  std::vector<std::vector<double>> expectations_z_batch(
+      const CircuitExecutor& exec,
+      const std::vector<std::vector<double>>& params_batch,
+      const std::vector<Statevector>& initials);
+  std::vector<std::vector<double>> probabilities_batch(
+      const CircuitExecutor& exec,
+      const std::vector<std::vector<double>>& params_batch,
+      const std::vector<Statevector>& initials);
 
   // ---- single-sample conveniences (forward to the batch calls) ----------
   std::vector<double> expectations_z(const CircuitExecutor& exec,
@@ -123,6 +146,15 @@ class SimulationBackend {
   /// Builds the backend selected by `options`.
   static std::unique_ptr<SimulationBackend> create(
       const SimulationOptions& options);
+
+ protected:
+  /// Claims the next call index of the stateful API.
+  std::uint64_t next_call() {
+    return calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> calls_{0};
 };
 
 /// Monte-Carlo estimate with its standard error, for consumers that need
@@ -139,14 +171,16 @@ class TrajectoryBackend final : public SimulationBackend {
   BackendKind kind() const override { return BackendKind::kTrajectory; }
   const char* name() const override { return "trajectory"; }
 
-  std::vector<std::vector<double>> expectations_z_batch(
+  std::vector<std::vector<double>> expectations_z_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) override;
-  std::vector<std::vector<double>> probabilities_batch(
+      const std::vector<Statevector>& initials,
+      std::uint64_t call) const override;
+  std::vector<std::vector<double>> probabilities_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) override;
+      const std::vector<Statevector>& initials,
+      std::uint64_t call) const override;
 
   /// Like expectations_z for one sample, but also returns per-qubit
   /// standard errors computed from the per-trajectory spread.
@@ -156,7 +190,6 @@ class TrajectoryBackend final : public SimulationBackend {
 
  private:
   SimulationOptions options_;
-  std::uint64_t calls_ = 0;
 };
 
 class ShotSamplingBackend final : public SimulationBackend {
@@ -166,18 +199,19 @@ class ShotSamplingBackend final : public SimulationBackend {
   BackendKind kind() const override { return BackendKind::kShotSampling; }
   const char* name() const override { return "shots"; }
 
-  std::vector<std::vector<double>> expectations_z_batch(
+  std::vector<std::vector<double>> expectations_z_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) override;
-  std::vector<std::vector<double>> probabilities_batch(
+      const std::vector<Statevector>& initials,
+      std::uint64_t call) const override;
+  std::vector<std::vector<double>> probabilities_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) override;
+      const std::vector<Statevector>& initials,
+      std::uint64_t call) const override;
 
  private:
   SimulationOptions options_;
-  std::uint64_t calls_ = 0;
 };
 
 class StatevectorBackend final : public SimulationBackend {
@@ -187,14 +221,17 @@ class StatevectorBackend final : public SimulationBackend {
   BackendKind kind() const override { return BackendKind::kStatevector; }
   const char* name() const override { return "statevector"; }
 
-  std::vector<std::vector<double>> expectations_z_batch(
+  // Exact, so the call index is ignored.
+  std::vector<std::vector<double>> expectations_z_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) override;
-  std::vector<std::vector<double>> probabilities_batch(
+      const std::vector<Statevector>& initials,
+      std::uint64_t call) const override;
+  std::vector<std::vector<double>> probabilities_batch_at(
       const CircuitExecutor& exec,
       const std::vector<std::vector<double>>& params_batch,
-      const std::vector<Statevector>& initials) override;
+      const std::vector<Statevector>& initials,
+      std::uint64_t call) const override;
 };
 
 namespace backend_detail {

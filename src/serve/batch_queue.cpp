@@ -1,0 +1,149 @@
+#include "serve/batch_queue.h"
+
+#include <chrono>
+
+namespace sqvae::serve {
+
+const char* endpoint_name(Endpoint e) {
+  switch (e) {
+    case Endpoint::kEncode:
+      return "encode";
+    case Endpoint::kDecode:
+      return "decode";
+    case Endpoint::kReconstruct:
+      return "reconstruct";
+    case Endpoint::kLatentSample:
+      return "latent_sample";
+  }
+  return "?";
+}
+
+bool parse_endpoint(const std::string& name, Endpoint* out) {
+  if (name == "encode") {
+    *out = Endpoint::kEncode;
+  } else if (name == "decode") {
+    *out = Endpoint::kDecode;
+  } else if (name == "reconstruct") {
+    *out = Endpoint::kReconstruct;
+  } else if (name == "latent_sample") {
+    *out = Endpoint::kLatentSample;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+BatchQueue::BatchQueue(std::size_t max_batch, std::uint64_t max_wait_us,
+                       std::size_t max_depth)
+    : max_batch_(max_batch == 0 ? 1 : max_batch),
+      max_wait_us_(max_wait_us),
+      max_depth_(max_depth) {}
+
+std::future<InferenceResult> BatchQueue::push(std::string model,
+                                              Endpoint endpoint,
+                                              std::vector<double> input,
+                                              std::uint64_t seed) {
+  Request request;
+  request.model = std::move(model);
+  request.endpoint = endpoint;
+  request.input = std::move(input);
+  request.seed = seed;
+  std::future<InferenceResult> future = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_depth_ > 0) {
+      // Backpressure: block the producer until a worker makes room (or
+      // the queue closes). pop_batch notifies after removing requests.
+      cv_.wait(lock,
+               [this] { return closed_ || queue_.size() < max_depth_; });
+    }
+    if (closed_) {
+      InferenceResult result;
+      result.error = "service is shut down";
+      request.promise.set_value(std::move(result));
+      return future;
+    }
+    request.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(request));
+    ++total_requests_;
+  }
+  // notify_all, not notify_one: the woken worker may be one that is
+  // holding a half-formed batch with a *different* key and will take
+  // nothing, while an idle worker keeps sleeping.
+  cv_.notify_all();
+  return future;
+}
+
+void BatchQueue::collect_matching(std::vector<Request>& batch) {
+  // Copied, not referenced: push_back below may reallocate `batch`.
+  const std::string model = batch.front().model;
+  const Endpoint endpoint = batch.front().endpoint;
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < max_batch_;) {
+    if (it->model == model && it->endpoint == endpoint) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Request> BatchQueue::pop_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  std::vector<Request> batch;
+  if (queue_.empty()) return batch;  // closed and drained
+
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  collect_matching(batch);
+
+  if (batch.size() < max_batch_ && max_wait_us_ > 0 && !closed_) {
+    // Hold the batch open briefly for stragglers. The deadline is anchored
+    // at the oldest request's enqueue time (see the header's straggler
+    // policy), so time already spent queued counts against the wait. Every
+    // wake re-scans for matching requests; non-matching arrivals were
+    // notified to everyone, so an idle worker picks them up concurrently.
+    const auto deadline =
+        batch.front().enqueued + std::chrono::microseconds(max_wait_us_);
+    while (batch.size() < max_batch_ && !closed_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        collect_matching(batch);
+        break;
+      }
+      collect_matching(batch);
+    }
+  }
+
+  ++total_batches_;
+  // Requests left the queue: wake any producer blocked on backpressure
+  // (and fellow workers, if non-matching requests remain queued).
+  if (max_depth_ > 0) cv_.notify_all();
+  return batch;
+}
+
+void BatchQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t BatchQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t BatchQueue::total_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_requests_;
+}
+
+std::uint64_t BatchQueue::total_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_batches_;
+}
+
+}  // namespace sqvae::serve

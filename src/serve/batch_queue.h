@@ -1,0 +1,120 @@
+// BatchQueue: micro-batch coalescing of concurrent single-sample requests.
+//
+// Serving traffic arrives one sample at a time, but every layer below the
+// queue is batch-shaped: one tape amortises autodiff-node overhead over
+// the batch, and CircuitExecutor::run_batch amortises plan binding and
+// parallelises the per-sample statevectors. The queue recovers that batch
+// shape at runtime: a worker popping work takes the oldest request, then
+// coalesces every queued request with the same (model, endpoint) key — up
+// to `max_batch` of them.
+//
+// Straggler policy: with `max_wait_us` = 0 (the default) coalescing is
+// purely opportunistic — a worker takes whatever is queued *now*, which
+// under sustained concurrent load already forms near-concurrency-sized
+// batches (requests accumulate while the previous batch executes) and adds
+// zero idle latency. A non-zero `max_wait_us` additionally holds a
+// sub-max_batch batch open for stragglers, with the deadline anchored at
+// the *oldest request's enqueue time* — so requests that already aged in
+// the queue during the previous execution are never delayed again, and the
+// knob bounds the total queue-added latency of any request. Use it for
+// open-loop/pipelined clients where submissions keep streaming regardless
+// of responses; closed-loop clients (submit, block, repeat) gain nothing
+// from waiting, since their next requests cannot arrive before the current
+// batch resolves. max_batch = 1 degenerates to per-request dispatch, the
+// A/B baseline of bench_serve.
+//
+// Requests with different keys are left queued for other workers, so one
+// slow model cannot head-of-line-block another model's traffic beyond the
+// scan cost.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqvae::serve {
+
+enum class Endpoint {
+  kEncode,        // features -> deterministic latent code (encode_mean)
+  kDecode,        // latent -> features
+  kReconstruct,   // features -> features (VAEs reparameterise per request)
+  kLatentSample,  // z ~ N(0, I) from the request seed -> decode
+};
+
+const char* endpoint_name(Endpoint e);
+bool parse_endpoint(const std::string& name, Endpoint* out);
+
+struct InferenceResult {
+  bool ok = false;
+  std::string error;           // set when !ok
+  std::vector<double> values;  // latent or feature row
+};
+
+struct Request {
+  std::string model;  // registry name
+  Endpoint endpoint = Endpoint::kReconstruct;
+  std::vector<double> input;  // empty for latent_sample
+  /// Every stochastic draw this request triggers (reparameterisation
+  /// noise, latent sampling, stochastic measurement streams) derives from
+  /// this seed and nothing else — the serving determinism contract.
+  std::uint64_t seed = 0;
+  std::promise<InferenceResult> promise;
+  /// Set by push(); anchors the straggler-wait deadline.
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+class BatchQueue {
+ public:
+  /// `max_depth` bounds the number of queued (not yet popped) requests:
+  /// push() blocks once the queue is full, giving producers natural
+  /// backpressure — a pipelined client streaming millions of requests
+  /// holds O(max_depth) of them in memory, not the whole backlog.
+  /// 0 = unbounded.
+  BatchQueue(std::size_t max_batch, std::uint64_t max_wait_us,
+             std::size_t max_depth = 0);
+
+  /// Enqueues a request; the future resolves when a worker finishes it.
+  /// Blocks while the queue is at max_depth (see above).
+  std::future<InferenceResult> push(std::string model, Endpoint endpoint,
+                                    std::vector<double> input,
+                                    std::uint64_t seed);
+
+  /// Blocks until at least one request is available (or the queue closes),
+  /// then coalesces up to max_batch same-key requests as described above.
+  /// An empty result means closed-and-drained: workers should exit.
+  std::vector<Request> pop_batch();
+
+  /// Wakes all waiters; subsequent pushes fail the returned future.
+  /// Already-queued requests still drain through pop_batch.
+  void close();
+
+  std::size_t depth() const;
+
+  // Coalescing statistics (monotonic; for tests and the CLI's shutdown
+  // report).
+  std::uint64_t total_requests() const;
+  std::uint64_t total_batches() const;
+
+ private:
+  /// Moves every queued request matching (model, endpoint) of `batch[0]`
+  /// into `batch`, up to max_batch_. Caller holds mu_.
+  void collect_matching(std::vector<Request>& batch);
+
+  const std::size_t max_batch_;
+  const std::uint64_t max_wait_us_;
+  const std::size_t max_depth_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t total_batches_ = 0;
+};
+
+}  // namespace sqvae::serve

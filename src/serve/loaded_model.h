@@ -1,0 +1,94 @@
+// LoadedModel: an immutable, shareable snapshot of a trained model.
+//
+// The serving layer never hands the zoo's mutable Autoencoder objects to
+// more than one thread: forward passes build tapes against the model's
+// ad::Parameter objects, and stochastic measurement backends are replaced
+// per request (see service.h), so a shared instance would race. Instead a
+// checkpoint loads once into a LoadedModel — the architecture description
+// (ModelSpec) plus a frozen copy of every parameter matrix — and each
+// worker thread materialises its own private *replica* from that snapshot.
+// Replicas are cheap (the zoo's models are a handful of small matrices and
+// compiled circuit plans) and bit-identical: two replicas of one
+// LoadedModel produce bit-identical outputs for identical requests.
+//
+// LoadedModel is deeply const after construction, which is what makes the
+// registry's hot-swap sound: publishing a new generation never mutates the
+// snapshot an in-flight batch is still executing against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "models/autoencoder.h"
+#include "qsim/backend.h"
+
+namespace sqvae::serve {
+
+/// Architecture description sufficient to rebuild any model of the zoo —
+/// the serving-side mirror of sqvae_train's model flags. Checkpoints store
+/// parameter values only, so the spec travels alongside them.
+struct ModelSpec {
+  /// Zoo name: classical-ae, classical-vae, fbq-ae, fbq-vae, hbq-ae,
+  /// hbq-vae, sq-ae, sq-vae (as sqvae_train --model).
+  std::string kind = "sq-ae";
+  std::size_t input_dim = 64;
+  int entangling_layers = 3;
+  int patches = 2;          // sq-* only
+  std::size_t latent = 6;   // classical models only
+  /// Simulation regime replicas run under. For stochastic regimes
+  /// (trajectory / shots) the service derives a fresh per-request seed from
+  /// this value and the request seed — see service.h.
+  qsim::SimulationOptions sim{};
+};
+
+/// Builds a freshly-initialised model for `spec` (weights from a fixed
+/// internal seed; callers overwrite them with checkpoint parameters).
+/// Returns null and fills `error` on an unknown kind or invalid shape.
+std::unique_ptr<models::Autoencoder> build_model(const ModelSpec& spec,
+                                                 std::string* error);
+
+class LoadedModel {
+ public:
+  /// Loads checkpoint text (v1 or v2; training state ignored — see
+  /// models/checkpoint.h load_params_only) into a snapshot. Null + `error`
+  /// on a spec/checkpoint mismatch or parse failure.
+  static std::shared_ptr<const LoadedModel> from_checkpoint_text(
+      const ModelSpec& spec, const std::string& text, std::string* error);
+
+  /// File convenience wrapper for from_checkpoint_text.
+  static std::shared_ptr<const LoadedModel> from_checkpoint_file(
+      const ModelSpec& spec, const std::string& path, std::string* error);
+
+  /// Snapshots the current parameters of a live model (benches, tests).
+  static std::shared_ptr<const LoadedModel> from_model(
+      const ModelSpec& spec, models::Autoencoder& model);
+
+  const ModelSpec& spec() const { return spec_; }
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t latent_dim() const { return latent_dim_; }
+  bool is_generative() const { return generative_; }
+  /// True when the spec's simulation regime is stochastic (trajectory or
+  /// shot-sampling measurements).
+  bool stochastic() const {
+    return spec_.sim.backend != qsim::BackendKind::kStatevector;
+  }
+
+  /// Materialises a private mutable replica carrying this snapshot's
+  /// parameters. Each worker thread owns its own replica; replicas of one
+  /// snapshot are bit-identical.
+  std::unique_ptr<models::Autoencoder> make_replica() const;
+
+ private:
+  LoadedModel() = default;
+
+  ModelSpec spec_;
+  std::vector<Matrix> params_;  // quantum parameters first, then classical
+  std::size_t input_dim_ = 0;
+  std::size_t latent_dim_ = 0;
+  bool generative_ = false;
+};
+
+}  // namespace sqvae::serve

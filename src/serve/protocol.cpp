@@ -1,0 +1,267 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/parse.h"
+
+namespace sqvae::serve {
+
+namespace {
+
+/// Minimal scanner over the protocol's JSON subset (see protocol.h).
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool string_value(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') return false;  // escapes unsupported
+      out->push_back(text_[pos_++]);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool number_value(double* out) {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  /// Full-range uint64 (seed/id): going through a double would corrupt
+  /// values above 2^53 and overflow to UB at 2^64.
+  bool uint_value(std::uint64_t* out) {
+    skip_ws();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;  // also rejects the sign strtoull would wrap around
+    }
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(begin, &end, 10);
+    if (end == begin || errno == ERANGE) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    *out = v;
+    return true;
+  }
+
+  bool array_value(std::vector<double>* out) {
+    if (!eat('[')) return false;
+    out->clear();
+    if (eat(']')) return true;
+    while (true) {
+      double v = 0.0;
+      // Non-finite payloads (strtod accepts "nan"/"inf", and overflow
+      // yields inf) are rejected: they are not JSON, and echoing the
+      // resulting NaN outputs would make the *response* invalid JSON too.
+      if (!number_value(&v) || !std::isfinite(v)) return false;
+      out->push_back(v);
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  /// Skips a value of any supported shape (for unknown keys).
+  bool skip_value() {
+    skip_ws();
+    if (peek_is('"')) {
+      std::string ignored;
+      return string_value(&ignored);
+    }
+    if (peek_is('[')) {
+      std::vector<double> ignored;
+      return array_value(&ignored);
+    }
+    if (peek_is('t')) return literal("true");
+    if (peek_is('f')) return literal("false");
+    if (peek_is('n')) return literal("null");
+    double ignored = 0.0;
+    return number_value(&ignored);
+  }
+
+  bool literal(const char* word) {
+    skip_ws();
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+      ++pos_;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Error strings quote the offending key ("expected ':' after \"op\""),
+/// so they must be escaped or the error response itself is invalid JSON.
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool blank(const std::string& line) {
+  for (char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_request_line(const std::string& line, WireRequest* out,
+                        std::string* error) {
+  *out = WireRequest{};
+  error->clear();
+  if (blank(line)) return false;
+
+  Scanner scan(line);
+  if (!scan.eat('{')) {
+    *error = "request must be a {...} object";
+    return false;
+  }
+  if (!scan.eat('}')) {
+    while (true) {
+      std::string key;
+      if (!scan.string_value(&key)) {
+        *error = "expected a \"key\"";
+        return false;
+      }
+      if (!scan.eat(':')) {
+        *error = "expected ':' after \"" + key + "\"";
+        return false;
+      }
+      bool parsed = true;
+      if (key == "op") {
+        parsed = scan.string_value(&out->op);
+      } else if (key == "model") {
+        parsed = scan.string_value(&out->model);
+      } else if (key == "seed") {
+        parsed = scan.uint_value(&out->seed);
+      } else if (key == "id") {
+        parsed = scan.uint_value(&out->id);
+        out->has_id = true;
+      } else if (key == "x") {
+        parsed = scan.array_value(&out->x);
+      } else {
+        parsed = scan.skip_value();
+      }
+      if (!parsed) {
+        *error = "malformed value for \"" + key + "\"";
+        return false;
+      }
+      if (scan.eat('}')) break;
+      if (!scan.eat(',')) {
+        *error = "expected ',' or '}'";
+        return false;
+      }
+    }
+  }
+  if (!scan.at_end()) {
+    *error = "trailing content after the request object";
+    return false;
+  }
+  if (out->op.empty()) {
+    *error = "missing \"op\"";
+    return false;
+  }
+  if (!parse_endpoint(out->op, &out->endpoint)) {
+    *error = "unknown op: " + out->op +
+             " (encode, decode, reconstruct, latent_sample)";
+    return false;
+  }
+  return true;
+}
+
+std::string format_response(const WireRequest& request,
+                            const InferenceResult& result) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\"ok\": " << (result.ok ? "true" : "false");
+  if (request.has_id) os << ", \"id\": " << request.id;
+  if (result.ok) {
+    os << ", \"op\": \"" << request.op << "\", \"y\": [";
+    for (std::size_t i = 0; i < result.values.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << result.values[i];
+    }
+    os << "]}";
+  } else {
+    os << ", \"error\": \"" << escape_json(result.error) << "\"}";
+  }
+  return os.str();
+}
+
+std::string format_parse_error(const std::string& error) {
+  return "{\"ok\": false, \"error\": \"" + escape_json(error) + "\"}";
+}
+
+}  // namespace sqvae::serve

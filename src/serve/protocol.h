@@ -1,0 +1,54 @@
+// Line protocol of sqvae_serve: one JSON-ish object per line in, one per
+// line out (stdin/stdout or a TCP connection — see cli/sqvae_serve.cpp).
+//
+// Request:  {"op": "reconstruct", "seed": 7, "x": [0.1, ...],
+//            "model": "default", "id": 42}
+//   op     one of encode / decode / reconstruct / latent_sample (required)
+//   x      payload row (feature row for encode/reconstruct, latent row for
+//          decode; omitted for latent_sample)
+//   seed   per-request determinism seed (default 0)
+//   model  registry name (default "default")
+//   id     opaque tag echoed back, for pipelined clients (optional)
+//
+// Response: {"ok": true, "id": 42, "op": "reconstruct", "y": [...]}
+//       or  {"ok": false, "id": 42, "error": "..."}
+//
+// The parser accepts the JSON subset the protocol needs — one flat object
+// of string / integer / number-array values, no nesting, no string
+// escapes — and ignores unknown keys so clients may annotate requests.
+// Values are printed with max_digits10, so piping the same requests twice
+// (or through --reference) diffs byte-identical when the math is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/batch_queue.h"
+
+namespace sqvae::serve {
+
+struct WireRequest {
+  std::string op;
+  std::string model = "default";
+  std::uint64_t seed = 0;
+  std::vector<double> x;
+  bool has_id = false;
+  std::uint64_t id = 0;
+
+  Endpoint endpoint = Endpoint::kReconstruct;  // parsed from op
+};
+
+/// Parses one request line. False + `error` on malformed input or an
+/// unknown op; blank lines return false with an empty error (skip them).
+bool parse_request_line(const std::string& line, WireRequest* out,
+                        std::string* error);
+
+/// Formats the response line (ok or error form) for a parsed request.
+std::string format_response(const WireRequest& request,
+                            const InferenceResult& result);
+
+/// Error response for a line that failed to parse.
+std::string format_parse_error(const std::string& error);
+
+}  // namespace sqvae::serve

@@ -1,0 +1,37 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+
+namespace sqvae::serve {
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     std::shared_ptr<const LoadedModel> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t generation = next_generation_++;
+  entries_[name] = ModelEntry{std::move(model), generation};
+  return generation;
+}
+
+ModelEntry ModelRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return ModelEntry{};
+  return it->second;
+}
+
+std::uint64_t ModelRegistry::generation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.generation;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sqvae::serve

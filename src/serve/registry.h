@@ -1,0 +1,54 @@
+// ModelRegistry: named, hot-swappable LoadedModel snapshots.
+//
+// publish() installs a snapshot under a name and stamps it with a
+// monotonically increasing generation counter; get() hands out the current
+// snapshot as a shared_ptr, so an in-flight batch keeps executing against
+// the generation it started with even while a newer one is being
+// published. Worker threads cache (generation, replica) pairs and compare
+// generations per batch — a swap costs readers one atomic-ish mutex peek
+// per batch, and replicas are rebuilt lazily only when the generation
+// actually moved (see service.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/loaded_model.h"
+
+namespace sqvae::serve {
+
+struct ModelEntry {
+  std::shared_ptr<const LoadedModel> model;
+  /// Generation stamp: unique across all publishes in this registry, so
+  /// re-publishing a name always changes the visible generation.
+  std::uint64_t generation = 0;
+};
+
+class ModelRegistry {
+ public:
+  /// Installs (or replaces) the snapshot under `name`; returns its
+  /// generation stamp. Thread-safe against concurrent get()/publish().
+  std::uint64_t publish(const std::string& name,
+                        std::shared_ptr<const LoadedModel> model);
+
+  /// Current snapshot for `name`, or an entry with a null model (and
+  /// generation 0) when the name is unknown.
+  ModelEntry get(const std::string& name) const;
+
+  /// Generation stamp of `name` (0 when unknown) — the cheap staleness
+  /// probe workers use before touching the snapshot itself.
+  std::uint64_t generation(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ModelEntry> entries_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace sqvae::serve

@@ -1,0 +1,328 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace sqvae::serve {
+
+namespace {
+
+// Domain-separation salts for the two per-request streams: noise (latent
+// sampling, VAE reparameterisation) and stochastic-measurement seeding.
+// Distinct salts keep the streams decorrelated even though both derive
+// from the same request seed.
+constexpr std::uint64_t kNoiseSalt = 0x5e7e0001ull;
+constexpr std::uint64_t kMeasureSalt = 0x5e7e0002ull;
+
+/// Private noise generator of a request.
+sqvae::Rng request_noise_rng(std::uint64_t seed) {
+  return sqvae::Rng(qsim::backend_detail::derive_seed(kNoiseSalt, seed, 0, 0));
+}
+
+/// Simulation options of a stochastic request: the spec's regime with a
+/// stream seed mixed from (spec seed, request seed). Installing these on a
+/// replica also rewinds its backends' call counters, so the request's
+/// measurement noise is a pure function of the seed.
+qsim::SimulationOptions request_sim_options(const ModelSpec& spec,
+                                            std::uint64_t seed) {
+  qsim::SimulationOptions opts = spec.sim;
+  opts.seed =
+      qsim::backend_detail::derive_seed(spec.sim.seed, kMeasureSalt, seed, 0);
+  return opts;
+}
+
+/// z ~ N(0, I) row for latent_sample, fully determined by the request seed.
+std::vector<double> latent_sample_row(std::size_t latent_dim,
+                                      std::uint64_t seed) {
+  sqvae::Rng rng = request_noise_rng(seed);
+  std::vector<double> z(latent_dim);
+  for (double& v : z) v = rng.normal();
+  return z;
+}
+
+InferenceResult failure(std::string message) {
+  InferenceResult result;
+  result.error = std::move(message);
+  return result;
+}
+
+/// Validates a request's payload against the model; returns an empty
+/// string when valid.
+std::string validate(const LoadedModel& loaded, Endpoint endpoint,
+                     const std::vector<double>& input) {
+  auto dim_error = [&](const char* what, std::size_t expected) {
+    if (input.size() == expected) return std::string();
+    return std::string(endpoint_name(endpoint)) + " expects " + what + " of " +
+           std::to_string(expected) + " values, got " +
+           std::to_string(input.size());
+  };
+  switch (endpoint) {
+    case Endpoint::kEncode:
+    case Endpoint::kReconstruct:
+      return dim_error("a feature row", loaded.input_dim());
+    case Endpoint::kDecode:
+      return dim_error("a latent row", loaded.latent_dim());
+    case Endpoint::kLatentSample:
+      if (!loaded.is_generative()) {
+        return "latent_sample requires a generative model (VAE)";
+      }
+      if (!input.empty()) {
+        return "latent_sample takes no payload (z is drawn from the seed)";
+      }
+      return std::string();
+  }
+  return "unknown endpoint";
+}
+
+/// True when requests on this (model, endpoint) may share one batched
+/// pass: every stochastic draw must already be per-request (latent_sample
+/// pre-draws z from the seed) or absent. See the header's contract.
+bool coalescible(const LoadedModel& loaded, Endpoint endpoint) {
+  if (loaded.stochastic()) return false;
+  switch (endpoint) {
+    case Endpoint::kEncode:
+    case Endpoint::kDecode:
+    case Endpoint::kLatentSample:
+      return true;
+    case Endpoint::kReconstruct:
+      return !loaded.is_generative();  // VAEs reparameterise per request
+  }
+  return false;
+}
+
+/// Executes already-validated requests as one batched pass. Requires
+/// coalescible(loaded, endpoint); rows are computed independently, so the
+/// result rows are bit-identical to size-1 batches of the same requests.
+std::vector<std::vector<double>> run_coalesced(
+    const LoadedModel& loaded, models::Autoencoder& model, Endpoint endpoint,
+    const std::vector<const Request*>& requests) {
+  const std::size_t batch = requests.size();
+  const std::size_t in_cols = endpoint == Endpoint::kLatentSample ||
+                                      endpoint == Endpoint::kDecode
+                                  ? loaded.latent_dim()
+                                  : loaded.input_dim();
+  Matrix rows(batch, in_cols);
+  for (std::size_t r = 0; r < batch; ++r) {
+    if (endpoint == Endpoint::kLatentSample) {
+      const std::vector<double> z =
+          latent_sample_row(loaded.latent_dim(), requests[r]->seed);
+      for (std::size_t c = 0; c < in_cols; ++c) rows(r, c) = z[c];
+    } else {
+      const std::vector<double>& z = requests[r]->input;
+      for (std::size_t c = 0; c < in_cols; ++c) rows(r, c) = z[c];
+    }
+  }
+
+  Matrix out;
+  switch (endpoint) {
+    case Endpoint::kEncode:
+      out = model.encode_values(rows);
+      break;
+    case Endpoint::kDecode:
+    case Endpoint::kLatentSample:
+      out = model.decode_values(rows);
+      break;
+    case Endpoint::kReconstruct: {
+      // Non-generative only (see coalescible): the rng is never consulted.
+      sqvae::Rng unused(0);
+      out = model.reconstruct(rows, unused);
+      break;
+    }
+  }
+
+  std::vector<std::vector<double>> results(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    results[r].resize(out.cols());
+    for (std::size_t c = 0; c < out.cols(); ++c) results[r][c] = out(r, c);
+  }
+  return results;
+}
+
+}  // namespace
+
+InferenceResult execute_single(const LoadedModel& loaded,
+                               models::Autoencoder& replica, Endpoint endpoint,
+                               const std::vector<double>& input,
+                               std::uint64_t seed) {
+  const std::string error = validate(loaded, endpoint, input);
+  if (!error.empty()) return failure(error);
+
+  Request request;
+  request.endpoint = endpoint;
+  request.input = input;
+  request.seed = seed;
+
+  InferenceResult result;
+  result.ok = true;
+
+  if (coalescible(loaded, endpoint)) {
+    const std::vector<const Request*> one{&request};
+    result.values = std::move(run_coalesced(loaded, replica, endpoint, one)[0]);
+    return result;
+  }
+
+  // Stochastic path: re-seed the replica's measurement backends from the
+  // request (no-op for purely classical models), then run a single row
+  // with a private noise stream.
+  if (loaded.stochastic()) {
+    replica.set_simulation_options(request_sim_options(loaded.spec(), seed));
+  }
+  sqvae::Rng noise = request_noise_rng(seed);
+  Matrix row(1, input.size());
+  for (std::size_t c = 0; c < input.size(); ++c) row(0, c) = input[c];
+
+  Matrix out;
+  switch (endpoint) {
+    case Endpoint::kEncode:
+      out = replica.encode_values(row);
+      break;
+    case Endpoint::kDecode:
+      out = replica.decode_values(row);
+      break;
+    case Endpoint::kReconstruct:
+      out = replica.reconstruct(row, noise);
+      break;
+    case Endpoint::kLatentSample: {
+      const std::vector<double> z = latent_sample_row(loaded.latent_dim(), seed);
+      Matrix zrow(1, z.size());
+      for (std::size_t c = 0; c < z.size(); ++c) zrow(0, c) = z[c];
+      out = replica.decode_values(zrow);
+      break;
+    }
+  }
+  result.values.resize(out.cols());
+  for (std::size_t c = 0; c < out.cols(); ++c) result.values[c] = out(0, c);
+  return result;
+}
+
+InferenceService::InferenceService(ModelRegistry& registry,
+                                   const ServeConfig& config)
+    : registry_(registry),
+      config_(config),
+      queue_(config.max_batch, config.max_batch_wait_us, config.max_queue) {
+  int threads = config.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceService::~InferenceService() { shutdown(); }
+
+void InferenceService::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<InferenceResult> InferenceService::submit(const std::string& model,
+                                                      Endpoint endpoint,
+                                                      std::vector<double> input,
+                                                      std::uint64_t seed) {
+  return queue_.push(model, endpoint, std::move(input), seed);
+}
+
+InferenceResult InferenceService::encode(const std::vector<double>& x,
+                                         std::uint64_t seed,
+                                         const std::string& model) {
+  return submit(model, Endpoint::kEncode, x, seed).get();
+}
+
+InferenceResult InferenceService::decode(const std::vector<double>& z,
+                                         std::uint64_t seed,
+                                         const std::string& model) {
+  return submit(model, Endpoint::kDecode, z, seed).get();
+}
+
+InferenceResult InferenceService::reconstruct(const std::vector<double>& x,
+                                              std::uint64_t seed,
+                                              const std::string& model) {
+  return submit(model, Endpoint::kReconstruct, x, seed).get();
+}
+
+InferenceResult InferenceService::latent_sample(std::uint64_t seed,
+                                                const std::string& model) {
+  return submit(model, Endpoint::kLatentSample, {}, seed).get();
+}
+
+void InferenceService::worker_loop() {
+  std::unordered_map<std::string, Replica> cache;
+  while (true) {
+    std::vector<Request> batch = queue_.pop_batch();
+    if (batch.empty()) return;
+    execute_batch(batch, cache);
+  }
+}
+
+void InferenceService::execute_batch(
+    std::vector<Request>& batch,
+    std::unordered_map<std::string, Replica>& cache) {
+  const std::string& name = batch.front().model;
+  const ModelEntry entry = registry_.get(name);
+  if (entry.model == nullptr) {
+    for (Request& r : batch) {
+      r.promise.set_value(failure("unknown model: " + name));
+    }
+    return;
+  }
+
+  Replica& replica = cache[name];
+  if (replica.generation != entry.generation || replica.model == nullptr) {
+    replica.model = entry.model->make_replica();
+    replica.loaded = entry.model;
+    replica.generation = entry.generation;
+  }
+  if (replica.model == nullptr) {
+    for (Request& r : batch) {
+      r.promise.set_value(failure("internal error: replica build failed"));
+    }
+    return;
+  }
+  const LoadedModel& loaded = *replica.loaded;
+  const Endpoint endpoint = batch.front().endpoint;
+
+  // Validation failures resolve immediately; the rest execute.
+  std::vector<Request*> work;
+  work.reserve(batch.size());
+  for (Request& r : batch) {
+    const std::string error = validate(loaded, endpoint, r.input);
+    if (!error.empty()) {
+      r.promise.set_value(failure(error));
+    } else {
+      work.push_back(&r);
+    }
+  }
+  if (work.empty()) return;
+
+  if (coalescible(loaded, endpoint)) {
+    std::vector<const Request*> requests(work.begin(), work.end());
+    std::vector<std::vector<double>> rows =
+        run_coalesced(loaded, *replica.model, endpoint, requests);
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      InferenceResult result;
+      result.ok = true;
+      result.values = std::move(rows[i]);
+      work[i]->promise.set_value(std::move(result));
+    }
+    return;
+  }
+
+  // Stochastic (or per-request-noise) work: the batch still amortised
+  // queue/wakeup costs, but execution is per request by contract.
+  for (Request* r : work) {
+    r->promise.set_value(
+        execute_single(loaded, *replica.model, endpoint, r->input, r->seed));
+  }
+}
+
+}  // namespace sqvae::serve

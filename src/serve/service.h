@@ -1,0 +1,130 @@
+// InferenceService: batched model serving with per-request determinism.
+//
+// Topology: callers submit single-sample requests (endpoint + payload +
+// seed) into a BatchQueue; a pool of worker threads pops micro-batches and
+// executes them against private replicas of the ModelRegistry's current
+// LoadedModel generation. Replicas are cached per (worker, model name) and
+// rebuilt only when the registry's generation counter moves, so hot-
+// swapping a checkpoint is race-free: in-flight batches finish on the old
+// immutable snapshot, later batches see the new one.
+//
+// Determinism contract: a request's result depends only on (model
+// parameters + spec, endpoint, payload, request seed) — never on batch
+// composition, worker count, queue timing, or concurrent traffic. It is
+// enforced by construction:
+//
+//   * deterministic work (statevector-regime encode/decode, non-generative
+//     reconstruct, and the decode half of latent_sample) is coalesced into
+//     one batched pass — sound because every layer of the stack computes
+//     rows independently (linear layers are per-row dot products, each
+//     sample owns its statevector), so row i of a size-B batch is bit-
+//     identical to a size-1 batch;
+//   * stochastic work (VAE reparameterisation, trajectory/shot
+//     measurement) runs per request: reparameterisation noise comes from a
+//     private Rng derived from the request seed, and stochastic
+//     measurement backends are re-seeded per request by mixing the spec
+//     seed with the request seed (which also rewinds their call counter),
+//     so replaying a seed replays the exact noise.
+//
+// execute_single() below *is* the contract's reference implementation:
+// serving N requests concurrently through the pool is bit-identical to
+// calling it N times serially (sqvae_serve --reference does exactly that,
+// and tests/serve_determinism_test.cpp hammers the equivalence for all
+// three simulation backends).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/batch_queue.h"
+#include "serve/loaded_model.h"
+#include "serve/registry.h"
+
+namespace sqvae::serve {
+
+struct ServeConfig {
+  /// Micro-batch cap: a worker coalesces at most this many same-key
+  /// requests into one execution. 1 = per-request dispatch (the bench
+  /// baseline).
+  std::size_t max_batch = 16;
+  /// Straggler wait (see batch_queue.h): 0 = opportunistic coalescing
+  /// only; > 0 additionally holds sub-max_batch batches open for this long
+  /// after the oldest request's arrival — for open-loop/pipelined clients.
+  std::uint64_t max_batch_wait_us = 0;
+  /// Worker threads; 0 = hardware concurrency.
+  int threads = 0;
+  /// Queue-depth bound: submit() blocks once this many requests are
+  /// queued, backpressuring producers so an unbounded pipelined client
+  /// cannot balloon memory. 0 = unbounded.
+  std::size_t max_queue = 1024;
+};
+
+/// Reference implementation of one request — see the determinism contract
+/// above. `replica` must be a private (not concurrently used) replica of
+/// `loaded`; stochastic requests re-seed its measurement backends.
+InferenceResult execute_single(const LoadedModel& loaded,
+                               models::Autoencoder& replica, Endpoint endpoint,
+                               const std::vector<double>& input,
+                               std::uint64_t seed);
+
+class InferenceService {
+ public:
+  /// The registry must outlive the service. Workers start immediately.
+  InferenceService(ModelRegistry& registry, const ServeConfig& config);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Asynchronous submission; the future resolves when a worker finishes.
+  std::future<InferenceResult> submit(const std::string& model,
+                                      Endpoint endpoint,
+                                      std::vector<double> input,
+                                      std::uint64_t seed);
+
+  // ---- synchronous conveniences ----------------------------------------
+  InferenceResult encode(const std::vector<double>& x, std::uint64_t seed,
+                         const std::string& model = "default");
+  InferenceResult decode(const std::vector<double>& z, std::uint64_t seed,
+                         const std::string& model = "default");
+  InferenceResult reconstruct(const std::vector<double>& x,
+                              std::uint64_t seed,
+                              const std::string& model = "default");
+  InferenceResult latent_sample(std::uint64_t seed,
+                                const std::string& model = "default");
+
+  /// Drains workers and rejects further submissions. Idempotent; also run
+  /// by the destructor.
+  void shutdown();
+
+  const ServeConfig& config() const { return config_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  /// Queue statistics (total_requests / total_batches expose the achieved
+  /// coalescing ratio).
+  const BatchQueue& queue() const { return queue_; }
+
+ private:
+  /// One worker's cached materialisation of a registry entry.
+  struct Replica {
+    std::uint64_t generation = 0;
+    std::shared_ptr<const LoadedModel> loaded;
+    std::unique_ptr<models::Autoencoder> model;
+  };
+
+  void worker_loop();
+  void execute_batch(std::vector<Request>& batch,
+                     std::unordered_map<std::string, Replica>& cache);
+
+  ModelRegistry& registry_;
+  ServeConfig config_;
+  BatchQueue queue_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+};
+
+}  // namespace sqvae::serve

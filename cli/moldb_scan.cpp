@@ -1,0 +1,158 @@
+// moldb_scan: inspect, filter, dump, and verify molecule shards.
+//
+// Default mode prints shard statistics (record counts, payload bytes, atom
+// histogram, element totals) in a stable machine-greppable "key: value"
+// layout — ci/moldb_smoke.sh asserts exact deduplicated counts from it.
+//
+//   --dump      print "hex_key<TAB>canonical_smiles" per record (in key
+//               order), honouring --min_atoms/--max_atoms/--limit
+//   --verify    re-parse + re-canonicalize + re-hash every record and fail
+//               on any mismatch: proves the store's canonicalization and
+//               keys are self-consistent end to end
+//
+// Atom counts here are lexical (every C/N/O/F/S/c/n/o/s character is
+// exactly one atom token in this repository's SMILES grammar), so stats
+// over millions of records cost no molecule parsing.
+//
+// Examples:
+//   moldb_scan --input=corpus.moldb
+//   moldb_scan --input=corpus.moldb --dump --max_atoms=8 --limit=100
+//   moldb_scan --input=corpus.moldb --verify
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "chem/mol_hash.h"
+#include "chem/smiles.h"
+#include "common/flags.h"
+#include "data/shard_store.h"
+
+namespace {
+
+using namespace sqvae;
+
+std::size_t atom_count(std::string_view smiles) {
+  std::size_t n = 0;
+  for (char c : smiles) {
+    switch (c) {
+      case 'C':
+      case 'N':
+      case 'O':
+      case 'F':
+      case 'S':
+      case 'c':
+      case 'n':
+      case 'o':
+      case 's':
+        ++n;
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_string("input", "", "shard to scan (required)");
+  flags.add_bool("dump", false, "print key<TAB>smiles records");
+  flags.add_bool("verify", false,
+                 "re-canonicalize + re-hash every record; fail on mismatch");
+  flags.add_int("limit", 0, "stop --dump after this many records (0 = all)");
+  flags.add_int("min_atoms", 0, "filter: at least this many heavy atoms");
+  flags.add_int("max_atoms", 0,
+                "filter: at most this many heavy atoms (0 = off)");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const std::string input = flags.get_string("input");
+  if (input.empty()) {
+    std::fprintf(stderr, "moldb_scan: need --input\n");
+    return 2;
+  }
+
+  std::string error;
+  const auto reader = data::ShardReader::open(input, &error);
+  if (!reader) {
+    std::fprintf(stderr, "moldb_scan: %s\n", error.c_str());
+    return 1;
+  }
+
+  const long long min_atoms = flags.get_int("min_atoms");
+  const long long max_atoms = flags.get_int("max_atoms");
+  const long long limit = flags.get_int("limit");
+  const bool dump = flags.get_bool("dump");
+  const bool verify = flags.get_bool("verify");
+
+  std::size_t matched = 0;
+  std::size_t dumped = 0;
+  std::size_t atoms_min = 0, atoms_max = 0, atoms_sum = 0;
+  std::size_t element_counts[5] = {0, 0, 0, 0, 0};  // C N O F S
+  std::size_t verify_failures = 0;
+
+  for (std::size_t i = 0; i < reader->size(); ++i) {
+    const std::string_view smiles = reader->smiles(i);
+    const std::size_t atoms = atom_count(smiles);
+    if (static_cast<long long>(atoms) < min_atoms) continue;
+    if (max_atoms > 0 && static_cast<long long>(atoms) > max_atoms) continue;
+    ++matched;
+    if (matched == 1 || atoms < atoms_min) atoms_min = atoms;
+    if (atoms > atoms_max) atoms_max = atoms;
+    atoms_sum += atoms;
+    for (char c : smiles) {
+      switch (c) {
+        case 'C': case 'c': ++element_counts[0]; break;
+        case 'N': case 'n': ++element_counts[1]; break;
+        case 'O': case 'o': ++element_counts[2]; break;
+        case 'F': ++element_counts[3]; break;
+        case 'S': case 's': ++element_counts[4]; break;
+        default: break;
+      }
+    }
+    if (verify) {
+      const auto mol = chem::from_smiles(std::string(smiles));
+      const auto canonical = mol ? chem::to_smiles(*mol) : std::nullopt;
+      if (!canonical || *canonical != smiles ||
+          !(chem::hash_bytes(*canonical) == reader->key(i))) {
+        std::fprintf(stderr,
+                     "moldb_scan: record %zu fails verification: '%.*s'\n",
+                     i, static_cast<int>(smiles.size()), smiles.data());
+        ++verify_failures;
+      }
+    }
+    if (dump && (limit <= 0 || dumped < static_cast<std::size_t>(limit))) {
+      std::printf("%s\t%.*s\n", chem::hash_hex(reader->key(i)).c_str(),
+                  static_cast<int>(smiles.size()), smiles.data());
+      ++dumped;
+    }
+  }
+
+  if (!dump) {
+    std::printf("shard: %s\n", input.c_str());
+    std::printf("records: %zu\n", reader->size());
+    std::printf("matched: %zu\n", matched);
+    std::printf("data_bytes: %llu\n",
+                static_cast<unsigned long long>(reader->data_bytes()));
+    if (matched > 0) {
+      std::printf("atoms_min: %zu\natoms_max: %zu\natoms_mean: %.2f\n",
+                  atoms_min, atoms_max,
+                  static_cast<double>(atoms_sum) /
+                      static_cast<double>(matched));
+    }
+    std::printf("atoms_C: %zu\natoms_N: %zu\natoms_O: %zu\natoms_F: %zu\n"
+                "atoms_S: %zu\n",
+                element_counts[0], element_counts[1], element_counts[2],
+                element_counts[3], element_counts[4]);
+  }
+  if (verify) {
+    std::printf("verify_failures: %zu\n", verify_failures);
+    if (verify_failures > 0) return 1;
+  }
+  return 0;
+}

@@ -15,9 +15,19 @@
 //   sqvae_train --scenario=digits --model=hbq-vae --backend=shots --shots=512
 //   sqvae_train ... --checkpoint=run.ckpt --checkpoint_every=2
 //   sqvae_train ... --checkpoint=run.ckpt --resume   # continue after a kill
+//
+// Corpus-scale streaming: --shards=a.moldb,b.moldb trains directly from
+// content-addressed molecule shards (moldb_make / moldb_merge) without
+// materializing the corpus — rows are decoded record by record from the
+// memory-mapped store. The last --test_fraction of rows (capped at
+// --max_test) is held out and materialized for per-epoch evaluation.
+//   sqvae_train --shards=corpus.moldb --matrix_dim=8 --model=sq-ae
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/rng.h"
@@ -26,6 +36,7 @@
 #include "data/dataset.h"
 #include "data/digits.h"
 #include "data/molecule_dataset.h"
+#include "data/shard_dataset.h"
 #include "models/baseline_quantum.h"
 #include "models/classical.h"
 #include "models/scalable_quantum.h"
@@ -39,6 +50,36 @@ using namespace sqvae;
 struct Scenario {
   data::Dataset dataset;
   std::size_t input_dim = 0;
+};
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// L1-normalises each streamed row on the fly (the fully quantum
+/// baselines' input convention), mirroring data::l1_normalize_rows.
+class L1NormalizedSource final : public data::RowSource {
+ public:
+  explicit L1NormalizedSource(const data::RowSource& base) : base_(&base) {}
+  std::size_t rows() const override { return base_->rows(); }
+  std::size_t cols() const override { return base_->cols(); }
+  void copy_row(std::size_t row, double* out) const override {
+    base_->copy_row(row, out);
+    double norm = 0.0;
+    for (std::size_t c = 0; c < base_->cols(); ++c) norm += std::abs(out[c]);
+    if (norm > 1e-12) {
+      for (std::size_t c = 0; c < base_->cols(); ++c) out[c] /= norm;
+    }
+  }
+
+ private:
+  const data::RowSource* base_;
 };
 
 Scenario load_scenario(const Flags& flags, Rng& rng) {
@@ -140,6 +181,15 @@ int main(int argc, char** argv) {
                    "hbq-vae, sq-ae, sq-vae");
   flags.add_int("samples", 300, "dataset size");
   flags.add_double("test_fraction", 0.15, "held-out test fraction");
+  // Streaming corpus input (overrides --scenario / --samples).
+  flags.add_string("shards", "",
+                   "comma-separated molecule shards (moldb_make) to stream "
+                   "from instead of --scenario");
+  flags.add_int("matrix_dim", 8,
+                "molecule-matrix dimension for --shards (input dim = "
+                "matrix_dim^2)");
+  flags.add_int("max_test", 4096,
+                "cap on materialized held-out rows with --shards");
   flags.add_bool("l1_normalize", false,
                  "L1-normalise rows (fully quantum baselines)");
   flags.add_int("layers", 3, "entangling layers per circuit");
@@ -194,11 +244,60 @@ int main(int argc, char** argv) {
   }
 
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
-  const Scenario scenario = load_scenario(flags, rng);
-  const auto split = data::train_test_split(
-      scenario.dataset, flags.get_double("test_fraction"), rng);
 
-  auto model = make_model(flags, scenario.input_dim, rng);
+  // Data: an in-memory scenario, or rows streamed from molecule shards.
+  // Both feed the trainer through the same RowSource seam, so the math is
+  // identical — only where the bytes live differs.
+  std::unique_ptr<data::ShardDataset> shard_dataset;
+  std::vector<std::unique_ptr<data::RowSource>> source_chain;
+  Matrix train_matrix;  // scenario-path storage
+  Matrix test_matrix;
+  std::size_t input_dim = 0;
+  std::string data_name;
+  const std::string shards_csv = flags.get_string("shards");
+  if (!shards_csv.empty()) {
+    const auto paths = split_list(shards_csv);
+    try {
+      shard_dataset = std::make_unique<data::ShardDataset>(
+          paths, static_cast<std::size_t>(flags.get_int("matrix_dim")));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    const std::size_t n = shard_dataset->rows();
+    std::size_t n_test = static_cast<std::size_t>(
+        static_cast<double>(n) * flags.get_double("test_fraction"));
+    const std::size_t max_test =
+        static_cast<std::size_t>(flags.get_int("max_test"));
+    if (n_test > max_test) n_test = max_test;
+    const std::size_t n_train = n - n_test;
+    source_chain.push_back(
+        std::make_unique<data::RowSlice>(*shard_dataset, 0, n_train));
+    test_matrix = data::materialize_rows(*shard_dataset, n_train, n_test);
+    if (flags.get_bool("l1_normalize")) {
+      source_chain.push_back(
+          std::make_unique<L1NormalizedSource>(*source_chain.back()));
+      test_matrix =
+          data::l1_normalize_rows(data::Dataset{std::move(test_matrix)})
+              .samples;
+    }
+    input_dim = shard_dataset->cols();
+    data_name = "shards(" + std::to_string(paths.size()) + " files, " +
+                std::to_string(n) + " records)";
+  } else {
+    Scenario scenario = load_scenario(flags, rng);
+    auto split = data::train_test_split(
+        scenario.dataset, flags.get_double("test_fraction"), rng);
+    train_matrix = std::move(split.train.samples);
+    test_matrix = std::move(split.test.samples);
+    input_dim = scenario.input_dim;
+    source_chain.push_back(
+        std::make_unique<data::MatrixRowSource>(train_matrix));
+    data_name = flags.get_string("scenario");
+  }
+  const data::RowSource& train_source = *source_chain.back();
+
+  auto model = make_model(flags, input_dim, rng);
 
   models::TrainConfig config;
   config.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
@@ -231,8 +330,8 @@ int main(int argc, char** argv) {
   std::printf(
       "sqvae_train: %s on %s (%zu train / %zu test, input dim %zu), "
       "%s engine, %d thread(s), backend %s\n",
-      flags.get_string("model").c_str(), flags.get_string("scenario").c_str(),
-      split.train.size(), split.test.size(), scenario.input_dim,
+      flags.get_string("model").c_str(), data_name.c_str(),
+      train_source.rows(), test_matrix.rows(), input_dim,
       config.data_parallel ? "data-parallel" : "serial",
       models::Trainer::resolve_threads(*model, config),
       flags.get_string("backend").c_str());
@@ -240,8 +339,7 @@ int main(int argc, char** argv) {
   Table table({"epoch", "train_loss", "train_mse", "train_kl", "test_mse",
                "seconds"});
   const auto history = trainer.fit(
-      split.train.samples,
-      split.test.size() > 0 ? &split.test.samples : nullptr, rng,
+      train_source, test_matrix.rows() > 0 ? &test_matrix : nullptr, rng,
       [&table](const models::EpochStats& e) {
         std::printf(
             "epoch %3zu  loss %.6f  mse %.6f  kl %.6f  test %.6f  (%.2fs)\n",

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 
 namespace sqvae::chem {
 
 namespace {
 
 /// Initial invariant: element, degree, implicit H count, aromaticity,
-/// and the multiset of incident bond orders (packed).
+/// and the multiset of incident bond orders (packed). Depends only on the
+/// atom's local structure, never on atom indices.
 std::uint64_t initial_invariant(const Molecule& mol, int i) {
   std::uint64_t inv = 0;
   inv = inv * 8 + static_cast<std::uint64_t>(element_code(mol.atom(i)));
@@ -24,37 +24,31 @@ std::uint64_t initial_invariant(const Molecule& mol, int i) {
   return inv;
 }
 
-}  // namespace
-
-std::vector<int> canonical_ranks(const Molecule& mol) {
-  const int n = mol.num_atoms();
-  std::vector<int> rank(static_cast<std::size_t>(n), 0);
-  if (n == 0) return rank;
-
-  // Start from initial invariants compressed to dense ranks.
-  std::vector<std::uint64_t> inv(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    inv[static_cast<std::size_t>(i)] = initial_invariant(mol, i);
+/// Dense ranks of `keys`: equal keys -> equal rank, ranks ordered by key.
+std::vector<int> compress(const std::vector<std::uint64_t>& keys) {
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<int> out(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out[i] = static_cast<int>(
+        std::lower_bound(sorted.begin(), sorted.end(), keys[i]) -
+        sorted.begin());
   }
-  auto compress = [&](const std::vector<std::uint64_t>& keys) {
-    std::vector<std::uint64_t> sorted = keys;
-    std::sort(sorted.begin(), sorted.end());
-    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-    std::vector<int> out(keys.size());
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      out[i] = static_cast<int>(
-          std::lower_bound(sorted.begin(), sorted.end(), keys[i]) -
-          sorted.begin());
-    }
-    return out;
-  };
+  return out;
+}
 
-  std::vector<int> current = compress(inv);
-  int distinct = 1 + *std::max_element(current.begin(), current.end());
+int count_distinct(const std::vector<int>& ranks) {
+  return ranks.empty() ? 0
+                       : 1 + *std::max_element(ranks.begin(), ranks.end());
+}
 
-  // Morgan refinement: fold sorted neighbor ranks into each atom's key
-  // until the number of distinct classes stops growing.
-  for (int iter = 0; iter < n; ++iter) {
+/// Morgan refinement to a fixed point: fold sorted (neighbor class, bond
+/// code) pairs into each atom's key until the class count stops growing.
+std::vector<int> refine(const Molecule& mol, std::vector<int> current) {
+  const int n = mol.num_atoms();
+  int distinct = count_distinct(current);
+  for (int iter = 0; iter < n && distinct < n; ++iter) {
     std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       std::vector<int> neigh;
@@ -65,41 +59,108 @@ std::vector<int> canonical_ranks(const Molecule& mol) {
                         bond_code(mol.bond_between(i, v)));
       }
       std::sort(neigh.begin(), neigh.end());
-      std::uint64_t k = static_cast<std::uint64_t>(
-          current[static_cast<std::size_t>(i)]);
+      std::uint64_t k =
+          static_cast<std::uint64_t>(current[static_cast<std::size_t>(i)]);
       for (int v : neigh) {
         k = k * 1000003ull + static_cast<std::uint64_t>(v) + 1ull;
       }
       keys[static_cast<std::size_t>(i)] = k;
     }
     std::vector<int> next = compress(keys);
-    const int next_distinct = 1 + *std::max_element(next.begin(), next.end());
+    const int next_distinct = count_distinct(next);
     if (next_distinct == distinct) break;
     current = std::move(next);
     distinct = next_distinct;
   }
+  return current;
+}
 
-  // Break remaining ties (symmetric atoms) deterministically: repeatedly
-  // single out the lowest-class tied atom and re-refine. This yields a full
-  // permutation while keeping isomorphism invariance for asymmetric parts.
-  while (distinct < n) {
-    // Find the smallest class with more than one member and promote its
-    // first member (by current class ordering, then by a canonical BFS
-    // order from already-ranked atoms — index order is a deterministic
-    // final fallback that is stable across encodings after refinement).
-    std::map<int, std::vector<int>> classes;
-    for (int i = 0; i < n; ++i) {
-      classes[current[static_cast<std::size_t>(i)]].push_back(i);
+/// Relabelling-invariant serialization of a *discrete* ranking (a full
+/// permutation): per rank, the atom's local invariant followed by its
+/// sorted (neighbor rank, bond code) edge list. Two rankings produce equal
+/// signatures iff the rank-labelled graphs are identical — in which case
+/// every downstream consumer (the SMILES writer walks atoms by rank and
+/// molecule structure only) emits identical output.
+std::vector<std::uint64_t> ranking_signature(const Molecule& mol,
+                                             const std::vector<int>& ranks) {
+  const int n = mol.num_atoms();
+  std::vector<int> atom_of_rank(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    atom_of_rank[static_cast<std::size_t>(ranks[static_cast<std::size_t>(i)])] =
+        i;
+  }
+  std::vector<std::uint64_t> sig;
+  sig.reserve(static_cast<std::size_t>(n) * 4);
+  for (int r = 0; r < n; ++r) {
+    const int a = atom_of_rank[static_cast<std::size_t>(r)];
+    sig.push_back(initial_invariant(mol, a));
+    std::vector<std::uint64_t> edges;
+    for (int v : mol.neighbors(a)) {
+      edges.push_back(
+          static_cast<std::uint64_t>(ranks[static_cast<std::size_t>(v)]) * 8 +
+          static_cast<std::uint64_t>(bond_code(mol.bond_between(a, v))));
     }
-    int chosen = -1;
-    for (const auto& [cls, members] : classes) {
-      if (members.size() > 1) {
-        chosen = members.front();
-        break;
-      }
+    std::sort(edges.begin(), edges.end());
+    sig.insert(sig.end(), edges.begin(), edges.end());
+    sig.push_back(~0ull);  // rank separator
+  }
+  return sig;
+}
+
+struct Completion {
+  bool found = false;
+  std::vector<std::uint64_t> sig;
+  std::vector<int> ranks;
+};
+
+/// Completes a refined partial ranking into a full permutation.
+///
+/// Ties left by refinement (symmetric or refinement-equivalent atoms) are
+/// broken by branching: every member of the smallest still-tied class is
+/// tentatively promoted, the partition re-refined, and the recursion keeps
+/// the completion whose ranking_signature is lexicographically smallest.
+/// The minimum over all members is invariant under input atom reordering —
+/// a permuted encoding branches over the same (relabelled) candidate set
+/// and compares the same relabelling-invariant signatures — which is what
+/// makes canonical SMILES, and therefore content hashes, stable across
+/// atom orderings. (The previous tie-break promoted the member with the
+/// lowest *input index*, which silently produced different canonical
+/// strings for permuted encodings of molecules where refinement leaves
+/// non-equivalent atoms tied.)
+///
+/// Cost: branching multiplies by the tied-class size at each level, but
+/// refinement discretizes rapidly after each promotion; for chemical
+/// graphs of this repository's alphabet (<= ~32 atoms) the search visits a
+/// handful of leaves (e.g. benzene: 6 x 2 = 12).
+void complete_ranking(const Molecule& mol, std::vector<int> current,
+                      Completion* best) {
+  const int n = mol.num_atoms();
+  current = refine(mol, current);
+  const int distinct = count_distinct(current);
+  if (distinct == n) {
+    std::vector<std::uint64_t> sig = ranking_signature(mol, current);
+    if (!best->found || sig < best->sig) {
+      best->found = true;
+      best->sig = std::move(sig);
+      best->ranks = std::move(current);
     }
-    if (chosen < 0) break;
-    // Promote: give `chosen` a key just below its class peers and refine.
+    return;
+  }
+  // Smallest class id with more than one member.
+  std::vector<int> class_count(static_cast<std::size_t>(distinct), 0);
+  for (int i = 0; i < n; ++i) {
+    ++class_count[static_cast<std::size_t>(current[static_cast<std::size_t>(i)])];
+  }
+  int tied_class = -1;
+  for (int c = 0; c < distinct; ++c) {
+    if (class_count[static_cast<std::size_t>(c)] > 1) {
+      tied_class = c;
+      break;
+    }
+  }
+  for (int m = 0; m < n; ++m) {
+    if (current[static_cast<std::size_t>(m)] != tied_class) continue;
+    // Promote: give `m` a key just below its class peers and recurse.
     std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       keys[static_cast<std::size_t>(i)] =
@@ -107,37 +168,24 @@ std::vector<int> canonical_ranks(const Molecule& mol) {
               2ull +
           1ull;
     }
-    keys[static_cast<std::size_t>(chosen)] -= 1ull;
-    current = compress(keys);
-    // Re-run Morgan refinement with the new seed classes.
-    for (int iter = 0; iter < n; ++iter) {
-      std::vector<std::uint64_t> rkeys(static_cast<std::size_t>(n));
-      for (int i = 0; i < n; ++i) {
-        std::vector<int> neigh;
-        for (int v : mol.neighbors(i)) {
-          neigh.push_back(current[static_cast<std::size_t>(v)] * 5 +
-                          bond_code(mol.bond_between(i, v)));
-        }
-        std::sort(neigh.begin(), neigh.end());
-        std::uint64_t k = static_cast<std::uint64_t>(
-            current[static_cast<std::size_t>(i)]);
-        for (int v : neigh) {
-          k = k * 1000003ull + static_cast<std::uint64_t>(v) + 1ull;
-        }
-        rkeys[static_cast<std::size_t>(i)] = k;
-      }
-      std::vector<int> next = compress(rkeys);
-      const int next_distinct =
-          1 + *std::max_element(next.begin(), next.end());
-      const int cur_distinct =
-          1 + *std::max_element(current.begin(), current.end());
-      if (next_distinct == cur_distinct) break;
-      current = std::move(next);
-    }
-    distinct = 1 + *std::max_element(current.begin(), current.end());
+    keys[static_cast<std::size_t>(m)] -= 1ull;
+    complete_ranking(mol, compress(keys), best);
   }
+}
 
-  return current;
+}  // namespace
+
+std::vector<int> canonical_ranks(const Molecule& mol) {
+  const int n = mol.num_atoms();
+  if (n == 0) return {};
+
+  std::vector<std::uint64_t> inv(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inv[static_cast<std::size_t>(i)] = initial_invariant(mol, i);
+  }
+  Completion best;
+  complete_ranking(mol, compress(inv), &best);
+  return best.ranks;
 }
 
 }  // namespace sqvae::chem

@@ -13,8 +13,12 @@
 namespace sqvae::chem {
 
 /// Rank per atom in [0, num_atoms): 0 is the canonical start atom.
-/// Symmetric atoms receive ties broken deterministically (by refined
-/// invariant, then by a canonical BFS), so the result is a permutation.
+/// Ties that survive refinement (symmetric or refinement-equivalent atoms)
+/// are broken by a graph-invariant search: every tied candidate is
+/// tentatively promoted and the completion with the lexicographically
+/// smallest relabelling-invariant signature wins, so the resulting
+/// permutation — and the canonical SMILES and content hashes built on it —
+/// is identical for every input atom ordering of the same molecule.
 std::vector<int> canonical_ranks(const Molecule& mol);
 
 }  // namespace sqvae::chem

@@ -1,0 +1,86 @@
+#include "chem/mol_hash.h"
+
+#include "chem/smiles.h"
+
+namespace sqvae::chem {
+
+namespace {
+
+// 128-bit FNV-1a constants (Fowler–Noll–Vo, standard parameters).
+constexpr unsigned __int128 make_u128(std::uint64_t hi, std::uint64_t lo) {
+  return (static_cast<unsigned __int128>(hi) << 64) | lo;
+}
+constexpr unsigned __int128 kFnvOffset =
+    make_u128(0x6c62272e07bb0142ull, 0x62b821756295c58dull);
+constexpr unsigned __int128 kFnvPrime = make_u128(0x0000000001000000ull,
+                                                  0x000000000000013bull);
+
+/// 64-bit finalizer (MurmurHash3 fmix64): full avalanche, so nearby FNV
+/// states map to uncorrelated outputs in each half.
+std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+MolHash hash_bytes(std::string_view bytes) {
+  unsigned __int128 state = kFnvOffset;
+  for (unsigned char c : bytes) {
+    state ^= c;
+    state *= kFnvPrime;
+  }
+  // Mix the length so "a" in a longer stream and "a" alone differ even if a
+  // caller ever concatenates; then avalanche each half with cross-feeding so
+  // the 64-bit halves are independently well distributed.
+  state ^= static_cast<unsigned __int128>(bytes.size());
+  const std::uint64_t raw_hi = static_cast<std::uint64_t>(state >> 64);
+  const std::uint64_t raw_lo = static_cast<std::uint64_t>(state);
+  MolHash h;
+  h.hi = fmix64(raw_hi ^ (raw_lo * 0x9e3779b97f4a7c15ull));
+  h.lo = fmix64(raw_lo ^ (raw_hi * 0xc2b2ae3d27d4eb4full));
+  return h;
+}
+
+std::optional<MolHash> hash_molecule(const Molecule& mol) {
+  const std::optional<std::string> smiles = to_smiles(mol);
+  if (!smiles) return std::nullopt;
+  return hash_bytes(*smiles);
+}
+
+std::string hash_hex(const MolHash& h) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kDigits[(h.hi >> (4 * i)) & 0xf];
+    out[static_cast<std::size_t>(31 - i)] = kDigits[(h.lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+std::optional<MolHash> hash_from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  MolHash h;
+  for (int i = 0; i < 32; ++i) {
+    const int v = nibble(hex[static_cast<std::size_t>(i)]);
+    if (v < 0) return std::nullopt;
+    if (i < 16) {
+      h.hi = (h.hi << 4) | static_cast<std::uint64_t>(v);
+    } else {
+      h.lo = (h.lo << 4) | static_cast<std::uint64_t>(v);
+    }
+  }
+  return h;
+}
+
+}  // namespace sqvae::chem

@@ -1,0 +1,66 @@
+// Content hashing for canonical molecules.
+//
+// The shard store (src/data/shard_store.h) keys every molecule by a 128-bit
+// hash of its canonical SMILES string: equal molecules — regardless of the
+// atom order they were built or parsed in — canonicalize to byte-identical
+// SMILES (chem/smiles.h) and therefore to identical keys, which is what
+// makes content-addressed deduplication exact. The hash is a dependency-free
+// 128-bit FNV-1a over the SMILES bytes with a murmur-style 64-bit avalanche
+// finalizer on each half; the function is fixed for all time for a given
+// shard-format version (changing it would silently un-deduplicate existing
+// stores), deterministic across platforms, and has no truncation/length
+// extension pitfalls for the short strings it sees. It is NOT a
+// cryptographic hash: collisions are astronomically unlikely for corpus
+// sizes (~2^-64 at 4 billion records) but not adversarially hard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "chem/molecule.h"
+
+namespace sqvae::chem {
+
+/// 128-bit content key, ordered lexicographically (hi, then lo).
+struct MolHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const MolHash& a, const MolHash& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const MolHash& a, const MolHash& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const MolHash& a, const MolHash& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// Hasher for unordered containers keyed by MolHash. The key is already a
+/// high-quality hash, so this just folds the halves.
+struct MolHashHasher {
+  std::size_t operator()(const MolHash& h) const {
+    return static_cast<std::size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// 128-bit FNV-1a + avalanche over arbitrary bytes (the primitive; exposed
+/// for tests and for hashing already-canonical SMILES strings directly).
+MolHash hash_bytes(std::string_view bytes);
+
+/// Canonical content key of `mol`: hash_bytes(to_smiles(mol)).
+/// std::nullopt when the molecule cannot be written (multi-fragment).
+/// The empty molecule hashes the empty string, deterministically.
+std::optional<MolHash> hash_molecule(const Molecule& mol);
+
+/// 32-character lowercase hex rendering (hi then lo, zero padded).
+std::string hash_hex(const MolHash& h);
+
+/// Inverse of hash_hex; std::nullopt unless exactly 32 hex characters.
+std::optional<MolHash> hash_from_hex(std::string_view hex);
+
+}  // namespace sqvae::chem

@@ -15,6 +15,16 @@ Matrix Dataset::gather(const std::vector<std::size_t>& indices) const {
   return out;
 }
 
+Matrix materialize_rows(const RowSource& source, std::size_t begin,
+                        std::size_t count) {
+  assert(begin + count <= source.rows());
+  Matrix out(count, source.cols());
+  for (std::size_t r = 0; r < count; ++r) {
+    source.copy_row(begin + r, out.data() + r * source.cols());
+  }
+  return out;
+}
+
 TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
                                 sqvae::Rng& rng) {
   assert(test_fraction >= 0.0 && test_fraction < 1.0);

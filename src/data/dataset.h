@@ -26,6 +26,58 @@ struct Dataset {
   Matrix gather(const std::vector<std::size_t>& indices) const;
 };
 
+/// Row-streaming abstraction over sample storage. The training engine
+/// copies one sample row at a time, so anything that can produce a feature
+/// row on demand — an in-memory Matrix or a memory-mapped molecule shard
+/// decoded record by record (shard_dataset.h) — can feed it without the
+/// corpus ever being materialized. copy_row must be safe to call
+/// concurrently from multiple threads (the data-parallel engine does).
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+  /// Copies row `row` into out[0 .. cols()).
+  virtual void copy_row(std::size_t row, double* out) const = 0;
+};
+
+/// RowSource view of a Matrix the caller keeps alive.
+class MatrixRowSource final : public RowSource {
+ public:
+  explicit MatrixRowSource(const Matrix& m) : m_(&m) {}
+  std::size_t rows() const override { return m_->rows(); }
+  std::size_t cols() const override { return m_->cols(); }
+  void copy_row(std::size_t row, double* out) const override {
+    for (std::size_t c = 0; c < m_->cols(); ++c) out[c] = (*m_)(row, c);
+  }
+
+ private:
+  const Matrix* m_;
+};
+
+/// Contiguous row range [begin, begin + count) of another RowSource (e.g.
+/// a streamed train/test split without materializing either side).
+class RowSlice final : public RowSource {
+ public:
+  RowSlice(const RowSource& base, std::size_t begin, std::size_t count)
+      : base_(&base), begin_(begin), count_(count) {}
+  std::size_t rows() const override { return count_; }
+  std::size_t cols() const override { return base_->cols(); }
+  void copy_row(std::size_t row, double* out) const override {
+    base_->copy_row(begin_ + row, out);
+  }
+
+ private:
+  const RowSource* base_;
+  std::size_t begin_;
+  std::size_t count_;
+};
+
+/// Rows [begin, begin + count) of `source` copied into a Matrix (e.g. a
+/// small held-out test set pulled from a streamed corpus).
+Matrix materialize_rows(const RowSource& source, std::size_t begin,
+                        std::size_t count);
+
 struct TrainTestSplit {
   Dataset train;
   Dataset test;

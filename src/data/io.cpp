@@ -1,5 +1,7 @@
 #include "data/io.h"
 
+#include <cctype>
+#include <charconv>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -49,20 +51,31 @@ std::optional<Dataset> load_csv(const std::string& path, CsvError* error) {
     std::stringstream ls(line);
     std::string field;
     while (std::getline(ls, field, ',')) {
-      try {
-        std::size_t consumed = 0;
-        const double v = std::stod(field, &consumed);
-        // Reject trailing garbage like "1.5x".
-        while (consumed < field.size() &&
-               std::isspace(static_cast<unsigned char>(field[consumed]))) {
-          ++consumed;
-        }
-        if (consumed != field.size()) throw std::invalid_argument(field);
-        row.push_back(v);
-      } catch (const std::exception&) {
+      // std::from_chars, not std::stod: stod honours the global LC_NUMERIC
+      // locale (a comma-decimal locale silently misparses "1.5") and folds
+      // out-of-range fields into the same exception as syntax errors. The
+      // charconv parse is locale-independent and distinguishes the two.
+      const char* begin = field.data();
+      const char* end = field.data() + field.size();
+      while (begin < end &&
+             std::isspace(static_cast<unsigned char>(*begin))) {
+        ++begin;
+      }
+      while (end > begin &&
+             std::isspace(static_cast<unsigned char>(end[-1]))) {
+        --end;
+      }
+      double v = 0.0;
+      const auto [ptr, ec] = std::from_chars(begin, end, v);
+      if (ec == std::errc::result_out_of_range) {
+        set_error(error, line_number, "number out of range: '" + field + "'");
+        return std::nullopt;
+      }
+      if (ec != std::errc{} || ptr != end || begin == end) {
         set_error(error, line_number, "not a number: '" + field + "'");
         return std::nullopt;
       }
+      row.push_back(v);
     }
     if (row.empty()) {
       set_error(error, line_number, "empty row");
@@ -89,18 +102,22 @@ std::optional<Dataset> load_csv(const std::string& path, CsvError* error) {
   return Dataset{std::move(samples)};
 }
 
-int save_smiles(const std::vector<chem::Molecule>& molecules,
-                const std::string& path) {
+SaveSmilesResult save_smiles(const std::vector<chem::Molecule>& molecules,
+                             const std::string& path) {
+  SaveSmilesResult result;
   std::ofstream f(path);
-  if (!f) return -1;
-  int written = 0;
-  for (const chem::Molecule& mol : molecules) {
-    const auto smiles = chem::to_smiles(mol);
-    if (!smiles || smiles->empty()) continue;
+  if (!f) return result;
+  for (std::size_t i = 0; i < molecules.size(); ++i) {
+    const auto smiles = chem::to_smiles(molecules[i]);
+    if (!smiles || smiles->empty()) {
+      result.skipped.push_back(i);
+      continue;
+    }
     f << *smiles << '\n';
-    ++written;
+    ++result.written;
   }
-  return f ? written : -1;
+  result.io_ok = static_cast<bool>(f);
+  return result;
 }
 
 std::optional<std::vector<chem::Molecule>> load_smiles(const std::string& path,

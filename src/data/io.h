@@ -28,11 +28,20 @@ struct CsvError {
 std::optional<Dataset> load_csv(const std::string& path,
                                 CsvError* error = nullptr);
 
-/// Writes one canonical SMILES per line; molecules that cannot be written
-/// (multi-fragment) are skipped. Returns the number written, or -1 on I/O
-/// failure.
-int save_smiles(const std::vector<chem::Molecule>& molecules,
-                const std::string& path);
+/// Outcome of save_smiles: how many lines were written, which input
+/// indices could not be serialized, and whether the stream stayed healthy.
+/// A complete, lossless save is `io_ok && skipped.empty()`.
+struct SaveSmilesResult {
+  bool io_ok = false;             // file opened and every write succeeded
+  std::size_t written = 0;        // lines emitted
+  std::vector<std::size_t> skipped;  // indices that failed to serialize
+};
+
+/// Writes one canonical SMILES per line. Molecules that cannot be written
+/// (multi-fragment, empty) are skipped — and reported through the result,
+/// so callers can distinguish a full save from a lossy one.
+SaveSmilesResult save_smiles(const std::vector<chem::Molecule>& molecules,
+                             const std::string& path);
 
 /// Reads a SMILES-per-line file; empty lines and '#' comments are skipped.
 /// Unparseable lines are reported through `error` and abort the load.

@@ -1,0 +1,81 @@
+#include "data/shard_dataset.h"
+
+#include <stdexcept>
+
+#include "chem/molecule_matrix.h"
+#include "chem/smiles.h"
+
+namespace sqvae::data {
+
+ShardDataset::ShardDataset(const std::vector<std::string>& paths,
+                           std::size_t matrix_dim)
+    : matrix_dim_(matrix_dim) {
+  if (matrix_dim_ == 0) {
+    throw std::runtime_error("ShardDataset: matrix_dim must be positive");
+  }
+  if (paths.empty()) {
+    throw std::runtime_error("ShardDataset: no shard paths given");
+  }
+  first_row_.push_back(0);
+  for (const std::string& path : paths) {
+    std::string error;
+    auto reader = ShardReader::open(path, &error);
+    if (!reader) {
+      throw std::runtime_error("ShardDataset: " + error);
+    }
+    total_ += reader->size();
+    first_row_.push_back(total_);
+    shards_.push_back(std::move(*reader));
+  }
+  // Validate every record up front (parse + size check) so copy_row is
+  // infallible afterwards — it runs inside OpenMP regions where a throw
+  // would terminate the process. One pass over the corpus at open time;
+  // nothing is retained.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::size_t i = 0; i < shards_[s].size(); ++i) {
+      const std::string_view record = shards_[s].smiles(i);
+      const auto mol = chem::from_smiles(std::string(record));
+      if (!mol) {
+        throw std::runtime_error(
+            "ShardDataset: " + shards_[s].path() + ": record " +
+            std::to_string(i) + " is not parseable SMILES: '" +
+            std::string(record) + "'");
+      }
+      const std::size_t atoms = static_cast<std::size_t>(mol->num_atoms());
+      if (atoms > matrix_dim_) {
+        throw std::runtime_error(
+            "ShardDataset: " + shards_[s].path() + ": record " +
+            std::to_string(i) + " has " + std::to_string(atoms) +
+            " atoms, exceeding matrix_dim " + std::to_string(matrix_dim_) +
+            " ('" + std::string(record) +
+            "'); rebuild the shard with moldb_make --max_atoms=" +
+            std::to_string(matrix_dim_));
+      }
+      if (atoms > max_atoms_) max_atoms_ = atoms;
+    }
+  }
+}
+
+std::string_view ShardDataset::smiles(std::size_t row) const {
+  // first_row_ is a short ascending prefix-sum list; linear scan beats a
+  // binary search for the handful of shards a run typically opens.
+  std::size_t s = 0;
+  while (s + 1 < first_row_.size() && first_row_[s + 1] <= row) ++s;
+  return shards_[s].smiles(row - first_row_[s]);
+}
+
+void ShardDataset::copy_row(std::size_t row, double* out) const {
+  const std::string_view record = smiles(row);
+  const auto mol = chem::from_smiles(std::string(record));
+  // Unreachable after the constructor's validation pass; kept as a hard
+  // stop rather than silent zero features.
+  if (!mol) {
+    throw std::runtime_error("ShardDataset: undecodable record at row " +
+                             std::to_string(row));
+  }
+  const std::vector<double> features =
+      chem::molecule_to_features(*mol, matrix_dim_);
+  for (std::size_t c = 0; c < features.size(); ++c) out[c] = features[c];
+}
+
+}  // namespace sqvae::data

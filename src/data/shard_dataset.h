@@ -1,0 +1,60 @@
+// Streaming molecule dataset over content-addressed shards.
+//
+// ShardDataset memory-maps one or more shard files (shard_store.h) and
+// serves molecule-matrix feature rows on demand: row r is the r-th record
+// across the shard list (records within a shard are in key order, so the
+// row order is a pure function of shard contents), decoded SMILES ->
+// Molecule -> flattened dim x dim molecule matrix at copy_row time. Peak
+// memory is the mmap page cache plus one molecule — never the corpus —
+// which is what lets sqvae_train --shards run epochs over
+// millions-of-molecule stores.
+//
+// Determinism: copy_row(r) is a pure function of the shard bytes, so a
+// training run fed by a ShardDataset is bit-identical to the same run fed
+// by an in-memory Dataset holding the same molecules in the same order
+// (tested in data_shard_dataset_test.cpp). Mini-batch shuffling and
+// per-sample noise streams are keyed by row index (data/dataset.h
+// make_batches + Rng::stream in the trainer), so they are unaffected by
+// where the row bytes live.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/shard_store.h"
+
+namespace sqvae::data {
+
+class ShardDataset final : public RowSource {
+ public:
+  /// Opens and validates every shard, then scans all records with a cheap
+  /// lexical atom counter to guarantee each molecule fits the dim x dim
+  /// matrix encoding. Throws std::runtime_error with a precise
+  /// shard/record message on any open failure or oversize molecule, so
+  /// copy_row cannot fail later inside a parallel training region.
+  ShardDataset(const std::vector<std::string>& paths, std::size_t matrix_dim);
+
+  std::size_t rows() const override { return total_; }
+  std::size_t cols() const override { return matrix_dim_ * matrix_dim_; }
+  void copy_row(std::size_t row, double* out) const override;
+
+  std::size_t matrix_dim() const { return matrix_dim_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Canonical SMILES of row `row` (points into the mapping).
+  std::string_view smiles(std::size_t row) const;
+
+  /// Largest heavy-atom count across all records (from the open-time scan).
+  std::size_t max_atoms() const { return max_atoms_; }
+
+ private:
+  std::vector<ShardReader> shards_;
+  std::vector<std::size_t> first_row_;  // prefix sums, size num_shards + 1
+  std::size_t total_ = 0;
+  std::size_t matrix_dim_ = 0;
+  std::size_t max_atoms_ = 0;
+};
+
+}  // namespace sqvae::data

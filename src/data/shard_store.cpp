@@ -1,0 +1,426 @@
+#include "data/shard_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace sqvae::data {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'Q', 'M', 'O', 'L', 'D', 'B', '\n'};
+constexpr std::size_t kHeaderSize = 72;
+constexpr std::size_t kIndexEntrySize = 28;
+constexpr std::uint64_t kFnv64Offset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnv64Prime = 0x100000001b3ull;
+
+std::uint64_t fnv64(std::uint64_t state, const void* bytes, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= kFnv64Prime;
+  }
+  return state;
+}
+
+void put_u32(std::vector<char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+bool write_all(int fd, const char* bytes, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, bytes + done, n - done);
+    if (w < 0) return false;
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardWriter
+// ---------------------------------------------------------------------------
+
+ShardWriter::ShardWriter(std::string path, bool dedup)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      dedup_(dedup),
+      data_checksum_(kFnv64Offset) {
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return;
+  // Header placeholder; finish() overwrites it with the real one.
+  const std::vector<char> zeros(kHeaderSize, 0);
+  ok_ = write_all(fd_, zeros.data(), zeros.size());
+  buffer_.reserve(1 << 20);
+}
+
+ShardWriter::~ShardWriter() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!finished_) std::remove(tmp_path_.c_str());
+}
+
+ShardWriter::Insert ShardWriter::insert(const chem::MolHash& key,
+                                        std::string_view smiles) {
+  if (!ok_ || finished_) return Insert::kError;
+  if (smiles.size() > std::numeric_limits<std::uint32_t>::max() ||
+      smiles.find('\n') != std::string_view::npos) {
+    return Insert::kError;
+  }
+  if (dedup_ && !seen_.insert(key).second) {
+    ++duplicates_;
+    return Insert::kDuplicate;
+  }
+  const std::size_t record_start = buffer_.size();
+  put_u32(buffer_, static_cast<std::uint32_t>(smiles.size()));
+  buffer_.insert(buffer_.end(), smiles.begin(), smiles.end());
+  data_checksum_ = fnv64(data_checksum_, buffer_.data() + record_start,
+                         buffer_.size() - record_start);
+  index_.push_back(Entry{key, data_size_,
+                         static_cast<std::uint32_t>(smiles.size())});
+  data_size_ += 4 + smiles.size();
+  if (buffer_.size() >= (1u << 20)) {
+    ok_ = write_all(fd_, buffer_.data(), buffer_.size());
+    buffer_.clear();
+  }
+  return ok_ ? Insert::kAdded : Insert::kError;
+}
+
+bool ShardWriter::finish(std::string* error) {
+  if (finished_) {
+    set_error(error, "shard writer already finished");
+    return false;
+  }
+  finished_ = true;  // the destructor must not unlink the published file
+  auto fail = [&](const std::string& message) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    std::remove(tmp_path_.c_str());
+    set_error(error, message);
+    return false;
+  };
+  if (!ok_ || fd_ < 0) return fail("shard writer stream failed: " + tmp_path_);
+  if (!buffer_.empty() && !write_all(fd_, buffer_.data(), buffer_.size())) {
+    return fail("cannot write data block: " + tmp_path_);
+  }
+  buffer_.clear();
+
+  std::stable_sort(index_.begin(), index_.end(),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < index_.size(); ++i) {
+    if (!(index_[i - 1].key < index_[i].key)) {
+      // Only reachable through the dedup = false fast path with a caller
+      // that violated its uniqueness guarantee.
+      return fail("duplicate keys in shard index: " + path_);
+    }
+  }
+
+  std::vector<char> block;
+  block.reserve(index_.size() * kIndexEntrySize);
+  for (const Entry& e : index_) {
+    put_u64(block, e.key.hi);
+    put_u64(block, e.key.lo);
+    put_u64(block, e.offset);
+    put_u32(block, e.length);
+  }
+  const std::uint64_t index_checksum =
+      fnv64(kFnv64Offset, block.data(), block.size());
+  if (!write_all(fd_, block.data(), block.size())) {
+    return fail("cannot write index block: " + tmp_path_);
+  }
+
+  std::vector<char> header;
+  header.reserve(kHeaderSize);
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(header, kShardFormatVersion);
+  put_u32(header, 0);  // flags
+  put_u64(header, index_.size());
+  put_u64(header, kHeaderSize);
+  put_u64(header, data_size_);
+  put_u64(header, kHeaderSize + data_size_);
+  put_u64(header, index_.size() * kIndexEntrySize);
+  put_u64(header, data_checksum_);
+  put_u64(header, index_checksum);
+  if (::lseek(fd_, 0, SEEK_SET) != 0 ||
+      !write_all(fd_, header.data(), header.size())) {
+    return fail("cannot write header: " + tmp_path_);
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return fail("cannot close: " + tmp_path_);
+  }
+  fd_ = -1;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return fail("cannot rename " + tmp_path_ + " -> " + path_);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ShardReader
+// ---------------------------------------------------------------------------
+
+ShardReader::ShardReader(ShardReader&& other) noexcept { *this = std::move(other); }
+
+ShardReader& ShardReader::operator=(ShardReader&& other) noexcept {
+  if (this != &other) {
+    reset();
+    path_ = std::move(other.path_);
+    map_ = other.map_;
+    map_size_ = other.map_size_;
+    data_ = other.data_;
+    index_ = other.index_;
+    count_ = other.count_;
+    data_size_ = other.data_size_;
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+    other.data_ = nullptr;
+    other.index_ = nullptr;
+    other.count_ = 0;
+  }
+  return *this;
+}
+
+ShardReader::~ShardReader() { reset(); }
+
+void ShardReader::reset() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+  map_ = nullptr;
+  map_size_ = 0;
+  data_ = nullptr;
+  index_ = nullptr;
+  count_ = 0;
+}
+
+std::optional<ShardReader> ShardReader::open(const std::string& path,
+                                             std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    set_error(error, path + ": cannot open");
+    return std::nullopt;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    set_error(error, path + ": cannot stat");
+    return std::nullopt;
+  }
+  const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+  if (file_size < kHeaderSize) {
+    ::close(fd);
+    set_error(error, path + ": truncated header (" +
+                         std::to_string(file_size) + " bytes, need " +
+                         std::to_string(kHeaderSize) + ")");
+    return std::nullopt;
+  }
+  void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    set_error(error, path + ": mmap failed");
+    return std::nullopt;
+  }
+  ShardReader reader;
+  reader.path_ = path;
+  reader.map_ = map;
+  reader.map_size_ = file_size;
+
+  const unsigned char* base = static_cast<const unsigned char*>(map);
+  auto reject = [&](const std::string& message) {
+    set_error(error, path + ": " + message);
+    return std::nullopt;
+  };
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return reject("bad magic (not a molecule shard)");
+  }
+  const std::uint32_t version = get_u32(base + 8);
+  if (version != kShardFormatVersion) {
+    return reject("unsupported shard version " + std::to_string(version) +
+                  " (this build reads version " +
+                  std::to_string(kShardFormatVersion) + ")");
+  }
+  const std::uint64_t count = get_u64(base + 16);
+  const std::uint64_t data_offset = get_u64(base + 24);
+  const std::uint64_t data_size = get_u64(base + 32);
+  const std::uint64_t index_offset = get_u64(base + 40);
+  const std::uint64_t index_size = get_u64(base + 48);
+  const std::uint64_t data_checksum = get_u64(base + 56);
+  const std::uint64_t index_checksum = get_u64(base + 64);
+
+  if (data_offset != kHeaderSize) return reject("bad data offset");
+  if (data_size > file_size - kHeaderSize) {
+    return reject("truncated data block");
+  }
+  if (index_offset != kHeaderSize + data_size) return reject("bad index offset");
+  if (count > (file_size - index_offset) / kIndexEntrySize ||
+      index_size != count * kIndexEntrySize) {
+    return reject("bad index size");
+  }
+  if (index_offset + index_size != file_size) {
+    return reject("file size mismatch (truncated or trailing garbage)");
+  }
+  const unsigned char* data = base + data_offset;
+  const unsigned char* index = base + index_offset;
+  if (fnv64(kFnv64Offset, data, data_size) != data_checksum) {
+    return reject("data checksum mismatch (corrupt shard)");
+  }
+  if (fnv64(kFnv64Offset, index, index_size) != index_checksum) {
+    return reject("index checksum mismatch (corrupt shard)");
+  }
+  chem::MolHash previous;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const unsigned char* e = index + i * kIndexEntrySize;
+    const chem::MolHash key{get_u64(e), get_u64(e + 8)};
+    if (i > 0 && !(previous < key)) {
+      return reject("index keys not strictly increasing at entry " +
+                    std::to_string(i));
+    }
+    previous = key;
+    const std::uint64_t offset = get_u64(e + 16);
+    const std::uint32_t length = get_u32(e + 24);
+    if (offset > data_size || data_size - offset < 4 ||
+        data_size - offset - 4 < length) {
+      return reject("record " + std::to_string(i) + " out of bounds");
+    }
+    if (get_u32(data + offset) != length) {
+      return reject("record " + std::to_string(i) +
+                    " framing mismatch (index/data length disagree)");
+    }
+  }
+  reader.data_ = data;
+  reader.index_ = index;
+  reader.count_ = count;
+  reader.data_size_ = data_size;
+  return reader;
+}
+
+chem::MolHash ShardReader::key(std::size_t i) const {
+  const unsigned char* e = index_ + i * kIndexEntrySize;
+  return chem::MolHash{get_u64(e), get_u64(e + 8)};
+}
+
+std::string_view ShardReader::smiles(std::size_t i) const {
+  const unsigned char* e = index_ + i * kIndexEntrySize;
+  const std::uint64_t offset = get_u64(e + 16);
+  const std::uint32_t length = get_u32(e + 24);
+  return std::string_view(
+      reinterpret_cast<const char*>(data_ + offset + 4), length);
+}
+
+std::optional<std::size_t> ShardReader::find(const chem::MolHash& key) const {
+  std::size_t lo = 0, hi = count_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const chem::MolHash k = this->key(mid);
+    if (k < key) {
+      lo = mid + 1;
+    } else if (key < k) {
+      hi = mid;
+    } else {
+      return mid;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// merge_shards
+// ---------------------------------------------------------------------------
+
+bool merge_shards(const std::vector<std::string>& inputs,
+                  const std::string& output, MergeStats* stats,
+                  std::string* error) {
+  std::vector<ShardReader> readers;
+  readers.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    auto reader = ShardReader::open(path, error);
+    if (!reader) return false;
+    readers.push_back(std::move(*reader));
+  }
+  MergeStats local;
+  local.inputs = readers.size();
+  for (const ShardReader& r : readers) local.input_records += r.size();
+
+  // Each input is already key-sorted; a linear scan over the (few) shard
+  // cursors streams the union in global key order, which lets the writer
+  // skip its dedup set entirely — memory stays at O(output index).
+  ShardWriter writer(output, /*dedup=*/false);
+  std::vector<std::size_t> cursor(readers.size(), 0);
+  for (;;) {
+    bool have_min = false;
+    chem::MolHash min_key;
+    for (std::size_t s = 0; s < readers.size(); ++s) {
+      if (cursor[s] >= readers[s].size()) continue;
+      const chem::MolHash k = readers[s].key(cursor[s]);
+      if (!have_min || k < min_key) {
+        have_min = true;
+        min_key = k;
+      }
+    }
+    if (!have_min) break;
+    bool written = false;
+    std::string_view payload;
+    for (std::size_t s = 0; s < readers.size(); ++s) {
+      if (cursor[s] >= readers[s].size()) continue;
+      if (!(readers[s].key(cursor[s]) == min_key)) continue;
+      const std::string_view record = readers[s].smiles(cursor[s]);
+      if (!written) {
+        if (writer.insert(min_key, record) != ShardWriter::Insert::kAdded) {
+          set_error(error, output + ": write failed during merge");
+          return false;
+        }
+        written = true;
+        payload = record;
+      } else {
+        ++local.cross_duplicates;
+        if (record != payload) {
+          // Same 128-bit key, different canonical SMILES: either a hash
+          // collision (~2^-64 odds) or a corrupt input that still passed
+          // its checksums. Refuse to pick silently.
+          set_error(error, readers[s].path() +
+                               ": key collision with differing payloads ('" +
+                               std::string(record) + "' vs '" +
+                               std::string(payload) + "')");
+          return false;
+        }
+      }
+      ++cursor[s];
+    }
+  }
+  local.written = writer.added();
+  if (!writer.finish(error)) return false;
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+}  // namespace sqvae::data

@@ -1,0 +1,162 @@
+// Content-addressed, memory-mapped molecule shard store.
+//
+// A shard is a single file holding canonical-SMILES records keyed by their
+// 128-bit content hash (chem/mol_hash.h). Equal molecules — in any input
+// atom order — canonicalize to the same SMILES and therefore the same key,
+// so insertion-time duplicate detection is exact. The format is designed
+// for corpus-scale training: a reader memory-maps the file and serves
+// random-access reads with zero parsing or allocation, and a writer streams
+// records to disk with memory bounded by the index (28 bytes per unique
+// record), never by the corpus text.
+//
+// File layout (version 1; all integers little-endian):
+//
+//   header  72 bytes   magic "SQMOLDB\n" | u32 version | u32 flags |
+//                      u64 record_count | u64 data_offset | u64 data_size |
+//                      u64 index_offset | u64 index_size |
+//                      u64 data_checksum | u64 index_checksum
+//   data    data_size  records back-to-back, insertion order:
+//                      u32 byte_length | SMILES bytes (no terminator)
+//   index   28 * count entries sorted ascending by key, each:
+//                      u64 key_hi | u64 key_lo | u64 record_offset
+//                      (data-relative) | u32 byte_length
+//
+// The checksums are 64-bit FNV-1a over the raw data and index blocks.
+// open() validates magic, version, block geometry (rejecting truncated or
+// oversized files), both checksums, strict index ordering (duplicate keys
+// cannot exist in a well-formed shard), and per-record framing, so a
+// reader never serves bytes from a corrupt store. Records are addressed in
+// *index order* (sorted by key): the iteration order of a shard is a pure
+// function of its content set, independent of insertion order — merges and
+// streamed training epochs are deterministic for free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "chem/mol_hash.h"
+
+namespace sqvae::data {
+
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+/// Streaming shard builder. Records go to a temporary file as they are
+/// inserted (RSS stays bounded by the in-memory index + key set, ~44
+/// bytes per unique record); finish() writes the index and header and
+/// atomically renames the temporary into place. A writer that is
+/// destroyed without finish() leaves no file behind.
+class ShardWriter {
+ public:
+  enum class Insert { kAdded, kDuplicate, kError };
+
+  /// `dedup = false` skips the in-memory key set: the caller guarantees
+  /// strictly increasing keys (the k-way merge does), and finish() still
+  /// verifies that ordering before publishing the shard.
+  explicit ShardWriter(std::string path, bool dedup = true);
+  ~ShardWriter();
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  /// True while the underlying stream is healthy.
+  bool ok() const { return ok_; }
+
+  /// Appends one canonical-SMILES record under `key`. kDuplicate leaves
+  /// the store unchanged. `smiles` must not contain '\n' (records are
+  /// dumped line-oriented) and must fit in 32 bits.
+  Insert insert(const chem::MolHash& key, std::string_view smiles);
+
+  std::size_t added() const { return index_.size(); }
+  std::size_t duplicates() const { return duplicates_; }
+
+  /// Sorts the index, writes index + header, fsync-free atomic rename.
+  /// Returns false (with `error` filled when non-null) on any I/O failure
+  /// or ordering violation; the temporary file is removed either way.
+  bool finish(std::string* error = nullptr);
+
+ private:
+  struct Entry {
+    chem::MolHash key;
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  bool ok_ = false;
+  bool finished_ = false;
+  bool dedup_ = true;
+  std::vector<Entry> index_;
+  std::unordered_set<chem::MolHash, chem::MolHashHasher> seen_;
+  std::size_t duplicates_ = 0;
+  std::uint64_t data_size_ = 0;
+  std::uint64_t data_checksum_;
+  std::vector<char> buffer_;  // write coalescing
+};
+
+/// Memory-mapped shard reader. Move-only; the mapping lives as long as the
+/// reader (string_views returned by smiles() point into it).
+class ShardReader {
+ public:
+  /// Opens and fully validates a shard. std::nullopt (with a precise
+  /// message in `error` when non-null) on any structural defect.
+  static std::optional<ShardReader> open(const std::string& path,
+                                         std::string* error = nullptr);
+
+  ShardReader(ShardReader&& other) noexcept;
+  ShardReader& operator=(ShardReader&& other) noexcept;
+  ShardReader(const ShardReader&) = delete;
+  ShardReader& operator=(const ShardReader&) = delete;
+  ~ShardReader();
+
+  /// Number of records.
+  std::size_t size() const { return count_; }
+
+  /// Key of record `i` (records are ordered by ascending key).
+  chem::MolHash key(std::size_t i) const;
+
+  /// Canonical SMILES of record `i`; points into the mapping.
+  std::string_view smiles(std::size_t i) const;
+
+  /// Binary search by key; index of the record or std::nullopt.
+  std::optional<std::size_t> find(const chem::MolHash& key) const;
+  bool contains(const chem::MolHash& key) const {
+    return find(key).has_value();
+  }
+
+  const std::string& path() const { return path_; }
+  std::uint64_t data_bytes() const { return data_size_; }
+
+ private:
+  ShardReader() = default;
+  void reset();
+
+  std::string path_;
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  const unsigned char* data_ = nullptr;   // data block
+  const unsigned char* index_ = nullptr;  // index block
+  std::size_t count_ = 0;
+  std::uint64_t data_size_ = 0;
+};
+
+struct MergeStats {
+  std::size_t inputs = 0;
+  std::size_t input_records = 0;     // sum over input shards
+  std::size_t cross_duplicates = 0;  // records dropped by the merge
+  std::size_t written = 0;           // unique records in the output
+};
+
+/// K-way merge of shards into one deduplicated shard. Inputs are streamed
+/// in key order (each shard's index is sorted), so memory stays bounded by
+/// the output index regardless of corpus size. Returns false with a
+/// message in `error` (when non-null) on any open/validate/write failure.
+bool merge_shards(const std::vector<std::string>& inputs,
+                  const std::string& output, MergeStats* stats = nullptr,
+                  std::string* error = nullptr);
+
+}  // namespace sqvae::data

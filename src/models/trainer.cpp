@@ -103,6 +103,13 @@ int Trainer::resolve_threads(const Autoencoder& model,
 std::vector<EpochStats> Trainer::fit(const Matrix& train, const Matrix* test,
                                      sqvae::Rng& rng,
                                      const EpochCallback& callback) {
+  const data::MatrixRowSource source(train);
+  return fit(source, test, rng, callback);
+}
+
+std::vector<EpochStats> Trainer::fit(const data::RowSource& train,
+                                     const Matrix* test, sqvae::Rng& rng,
+                                     const EpochCallback& callback) {
   model_.set_kl_weight(config_.kl_weight);
   if (config_.sim.has_value()) {
     model_.set_simulation_options(*config_.sim);
@@ -200,9 +207,7 @@ std::vector<EpochStats> Trainer::fit(const Matrix& train, const Matrix* test,
         for (std::int64_t s = 0; s < n; ++s) {
           const std::size_t row = indices[static_cast<std::size_t>(s)];
           Matrix sample(1, train.cols());
-          for (std::size_t c = 0; c < train.cols(); ++c) {
-            sample(0, c) = train(row, c);
-          }
+          train.copy_row(row, sample.data());
           // Stateless per-sample stream: the noise a sample sees depends
           // only on (noise_seed, epoch, row), never on which thread runs
           // it or in what order.
@@ -247,9 +252,7 @@ std::vector<EpochStats> Trainer::fit(const Matrix& train, const Matrix* test,
         // ---- legacy serial engine: one tape per batch ----
         Matrix batch(batch_size, train.cols());
         for (std::size_t r = 0; r < batch_size; ++r) {
-          for (std::size_t c = 0; c < train.cols(); ++c) {
-            batch(r, c) = train(indices[r], c);
-          }
+          train.copy_row(indices[r], batch.data() + r * train.cols());
         }
         ad::Tape tape;
         LossStats stats;

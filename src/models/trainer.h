@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "data/dataset.h"
 #include "models/autoencoder.h"
 
 namespace sqvae::models {
@@ -118,6 +119,15 @@ class Trainer {
   /// `test` after each epoch when non-null. Returns per-epoch statistics
   /// (resumed runs return only the epochs they executed).
   std::vector<EpochStats> fit(const Matrix& train, const Matrix* test,
+                              sqvae::Rng& rng,
+                              const EpochCallback& callback = {});
+
+  /// Streaming variant: samples are pulled row by row from `train` (e.g. a
+  /// ShardDataset over memory-mapped molecule shards), so the corpus is
+  /// never materialized. Bit-identical to the Matrix overload on the same
+  /// rows: batching, per-sample noise streams, and the gradient reduction
+  /// are all keyed by row index, not by storage.
+  std::vector<EpochStats> fit(const data::RowSource& train, const Matrix* test,
                               sqvae::Rng& rng,
                               const EpochCallback& callback = {});
 

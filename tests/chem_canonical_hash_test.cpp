@@ -1,0 +1,171 @@
+// Canonicalization and content-hash invariance tests.
+//
+// The contract under test: canonical_ranks (and therefore to_smiles and
+// hash_molecule) must be a pure function of the molecular *graph*, not of
+// the order atoms happen to be stored in. The historical bug: tie-breaking
+// picked the lowest *input index* from a tied refinement class, so two
+// atom orderings of the same symmetric molecule could canonicalize to
+// different SMILES. Symmetric molecules (benzene, cyclohexane,
+// naphthalene, neopentane) are exactly where refinement leaves ties, so
+// they are permuted aggressively here.
+#include "chem/mol_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chem/canonical.h"
+#include "chem/molecule.h"
+#include "chem/smiles.h"
+#include "common/rng.h"
+#include "data/molecule_dataset.h"
+
+namespace sqvae::chem {
+namespace {
+
+/// The molecule with atoms stored in `perm` order (perm[i] = old index of
+/// new atom i). subgraph() on a full permutation is exactly a relabelling.
+Molecule permuted(const Molecule& mol, const std::vector<int>& perm) {
+  return mol.subgraph(perm);
+}
+
+std::vector<int> random_permutation(int n, Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  return perm;
+}
+
+/// Canonical SMILES of every random relabelling must match the original's.
+void expect_permutation_invariant(const Molecule& mol, std::uint64_t seed,
+                                  int trials, const std::string& label) {
+  const auto reference = to_smiles(mol);
+  ASSERT_TRUE(reference.has_value()) << label;
+  const auto reference_hash = hash_molecule(mol);
+  ASSERT_TRUE(reference_hash.has_value()) << label;
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    const Molecule shuffled =
+        permuted(mol, random_permutation(mol.num_atoms(), rng));
+    const auto smiles = to_smiles(shuffled);
+    ASSERT_TRUE(smiles.has_value()) << label << " trial " << t;
+    EXPECT_EQ(*smiles, *reference) << label << " trial " << t;
+    const auto hash = hash_molecule(shuffled);
+    ASSERT_TRUE(hash.has_value()) << label << " trial " << t;
+    EXPECT_TRUE(*hash == *reference_hash) << label << " trial " << t;
+  }
+}
+
+TEST(CanonicalInvariance, SymmetricMoleculesUnderRandomPermutation) {
+  // High-symmetry graphs: WL-style refinement cannot separate their atoms,
+  // so every ranking here is decided by the tie-break path.
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"benzene", "c1ccccc1"},
+      {"cyclohexane", "C1CCCCC1"},
+      {"naphthalene", "c1ccc2ccccc2c1"},
+      {"neopentane", "CC(C)(C)C"},
+      {"dimethylbutane", "CC(C)C(C)C"},
+      {"cyclobutane", "C1CCC1"},
+      {"bipartite-ring", "C1OC1"},
+  };
+  for (const auto& [label, smiles] : cases) {
+    const auto mol = from_smiles(smiles);
+    ASSERT_TRUE(mol.has_value()) << label;
+    expect_permutation_invariant(*mol, 0x5ee1ull, 40, label);
+  }
+}
+
+TEST(CanonicalInvariance, ReversedAndRotatedBenzene) {
+  // Deterministic worst cases for index-based tie-breaks: every rotation
+  // and the reversal of a 6-cycle are automorphisms, so all must give the
+  // same canonical string.
+  const auto benzene = from_smiles("c1ccccc1");
+  ASSERT_TRUE(benzene.has_value());
+  const auto reference = to_smiles(*benzene);
+  ASSERT_TRUE(reference.has_value());
+  for (int rot = 0; rot < 6; ++rot) {
+    std::vector<int> perm(6);
+    for (int i = 0; i < 6; ++i) perm[static_cast<std::size_t>(i)] = (i + rot) % 6;
+    EXPECT_EQ(to_smiles(permuted(*benzene, perm)), reference) << rot;
+    std::vector<int> reversed(perm.rbegin(), perm.rend());
+    EXPECT_EQ(to_smiles(permuted(*benzene, reversed)), reference)
+        << "reversed " << rot;
+  }
+}
+
+TEST(CanonicalInvariance, GeneratedMoleculesUnderRandomPermutation) {
+  // Arbitrary (mostly asymmetric) molecules from both corpus generators.
+  Rng gen_rng(7);
+  const auto qm9 = data::make_qm9_like(25, 8, gen_rng);
+  for (std::size_t i = 0; i < qm9.molecules.size(); ++i) {
+    expect_permutation_invariant(qm9.molecules[i], 0xabc0 + i, 8,
+                                 "qm9 " + std::to_string(i));
+  }
+  const auto pdb = data::make_pdbbind_like(8, 20, gen_rng);
+  for (std::size_t i = 0; i < pdb.molecules.size(); ++i) {
+    expect_permutation_invariant(pdb.molecules[i], 0xdef0 + i, 8,
+                                 "pdbbind " + std::to_string(i));
+  }
+}
+
+TEST(CanonicalInvariance, RanksAreAValidPermutation) {
+  Rng rng(11);
+  const auto ds = data::make_qm9_like(10, 8, rng);
+  for (const auto& mol : ds.molecules) {
+    const auto ranks = canonical_ranks(mol);
+    ASSERT_EQ(static_cast<int>(ranks.size()), mol.num_atoms());
+    std::set<int> seen(ranks.begin(), ranks.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), mol.num_atoms());
+    if (!ranks.empty()) {
+      EXPECT_EQ(*seen.begin(), 0);
+      EXPECT_EQ(*seen.rbegin(), mol.num_atoms() - 1);
+    }
+  }
+}
+
+TEST(MolHash, DistinctMoleculesGetDistinctKeys) {
+  // Not a collision-resistance proof — just that the hash actually keys on
+  // content for a realistic corpus slice.
+  Rng rng(13);
+  const auto ds = data::make_qm9_like(200, 8, rng);
+  std::set<std::string> smiles;
+  std::set<std::string> keys;
+  for (const auto& mol : ds.molecules) {
+    const auto s = to_smiles(mol);
+    ASSERT_TRUE(s.has_value());
+    smiles.insert(*s);
+    const auto h = hash_molecule(mol);
+    ASSERT_TRUE(h.has_value());
+    keys.insert(hash_hex(*h));
+  }
+  EXPECT_EQ(keys.size(), smiles.size());
+}
+
+TEST(MolHash, HexRoundTripAndOrdering) {
+  const MolHash a = hash_bytes("CCO");
+  const MolHash b = hash_bytes("CCN");
+  EXPECT_FALSE(a == b);
+  const std::string hex = hash_hex(a);
+  EXPECT_EQ(hex.size(), 32u);
+  const auto back = hash_from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == a);
+  EXPECT_FALSE(hash_from_hex("zz").has_value());
+  EXPECT_FALSE(hash_from_hex(hex.substr(1)).has_value());
+  // operator< is a strict weak order usable as the shard index order.
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+TEST(MolHash, MultiFragmentMoleculeHasNoHash) {
+  Molecule fragments;
+  fragments.add_atom(Element::kC);
+  fragments.add_atom(Element::kO);  // no bond between them
+  EXPECT_FALSE(hash_molecule(fragments).has_value());
+}
+
+}  // namespace
+}  // namespace sqvae::chem

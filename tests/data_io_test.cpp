@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdio>
 #include <fstream>
 
@@ -74,6 +75,39 @@ TEST(CsvIo, ReportsBadNumbers) {
   EXPECT_FALSE(load_csv(trailing.path(), &error).has_value());
 }
 
+TEST(CsvIo, OutOfRangeIsDistinctFromNotANumber) {
+  // "1e999" is syntactically a number that doubles cannot hold; the loader
+  // must say so rather than claim it is "not a number".
+  TempFile file("range.csv");
+  file.write("1,1e999\n");
+  CsvError error;
+  EXPECT_FALSE(load_csv(file.path(), &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_NE(error.message.find("out of range"), std::string::npos)
+      << error.message;
+  EXPECT_EQ(error.message.find("not a number"), std::string::npos)
+      << error.message;
+}
+
+TEST(CsvIo, ParsingIsLocaleIndependent) {
+  // Under a comma-decimal locale, std::stod would read "1.5" as 1 (comma
+  // is the separator) or misparse entirely; std::from_chars must not.
+  // Skipped silently when the locale is not installed in the image.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous ? previous : "C";
+  const bool have_locale =
+      std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_NUMERIC, "fr_FR.UTF-8") != nullptr;
+  TempFile file("locale.csv");
+  file.write("1.5,-2.25e1\n");
+  const auto loaded = load_csv(file.path());
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->samples(0, 0), 1.5);
+  EXPECT_EQ(loaded->samples(0, 1), -22.5);
+  (void)have_locale;  // parse must be exact with or without the locale
+}
+
 TEST(CsvIo, MissingAndEmptyFiles) {
   CsvError error;
   EXPECT_FALSE(load_csv("/nonexistent/nope.csv", &error).has_value());
@@ -88,8 +122,10 @@ TEST(SmilesIo, RoundTripMolecules) {
   Rng rng(2);
   const auto ds = make_qm9_like(12, 8, rng);
   TempFile file("mols.smi");
-  const int written = save_smiles(ds.molecules, file.path());
-  EXPECT_EQ(written, 12);
+  const SaveSmilesResult result = save_smiles(ds.molecules, file.path());
+  EXPECT_TRUE(result.io_ok);
+  EXPECT_EQ(result.written, 12u);
+  EXPECT_TRUE(result.skipped.empty());
   const auto loaded = load_smiles(file.path());
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->size(), 12u);
@@ -98,6 +134,28 @@ TEST(SmilesIo, RoundTripMolecules) {
     EXPECT_EQ(chem::to_smiles((*loaded)[i]), chem::to_smiles(ds.molecules[i]))
         << i;
   }
+}
+
+TEST(SmilesIo, ReportsUnserializableMolecules) {
+  // A two-fragment molecule cannot be written by to_smiles; the save must
+  // succeed for the rest AND say exactly which index was dropped.
+  Rng rng(3);
+  auto molecules = make_qm9_like(4, 8, rng).molecules;
+  chem::Molecule fragments;
+  fragments.add_atom(chem::Element::kC);
+  fragments.add_atom(chem::Element::kO);  // no bond: two components
+  molecules.insert(molecules.begin() + 2, fragments);
+
+  TempFile file("lossy.smi");
+  const SaveSmilesResult result = save_smiles(molecules, file.path());
+  EXPECT_TRUE(result.io_ok);
+  EXPECT_EQ(result.written, 4u);
+  ASSERT_EQ(result.skipped.size(), 1u);
+  EXPECT_EQ(result.skipped[0], 2u);
+
+  const auto loaded = load_smiles(file.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 4u);
 }
 
 TEST(SmilesIo, SkipsCommentsAndBlankLines) {

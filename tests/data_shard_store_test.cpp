@@ -1,0 +1,276 @@
+// Shard-store tests: round trips, exact duplicate accounting, k-way merge,
+// and — most importantly — the failure paths. A corrupt or truncated shard
+// must be rejected at open() with a precise reason, never half-read: the
+// store is the durability layer under every corpus, so these tests flip
+// real bytes in real files and assert the validator catches each class.
+#include "data/shard_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chem/mol_hash.h"
+
+namespace sqvae::data {
+namespace {
+
+using chem::MolHash;
+using chem::hash_bytes;
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_("/tmp/sqvae_shard_test_" + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempPath() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good()) << path;
+}
+
+/// Writes a well-formed shard holding the given SMILES (deduplicated).
+void make_shard(const std::string& path,
+                const std::vector<std::string>& records) {
+  ShardWriter writer(path);
+  for (const auto& smiles : records) {
+    ASSERT_NE(writer.insert(hash_bytes(smiles), smiles),
+              ShardWriter::Insert::kError);
+  }
+  std::string error;
+  ASSERT_TRUE(writer.finish(&error)) << error;
+}
+
+void expect_open_fails(const std::string& path, const std::string& needle) {
+  std::string error;
+  const auto reader = ShardReader::open(path, &error);
+  EXPECT_FALSE(reader.has_value()) << path;
+  EXPECT_NE(error.find(needle), std::string::npos)
+      << "expected '" << needle << "' in: " << error;
+}
+
+TEST(ShardStore, WriteReadRoundTrip) {
+  TempPath file("roundtrip.moldb");
+  const std::vector<std::string> records = {"CCO", "CCN", "c1ccccc1", "C"};
+  make_shard(file.path(), records);
+
+  std::string error;
+  const auto reader = ShardReader::open(file.path(), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ASSERT_EQ(reader->size(), records.size());
+
+  // Every record is present and addressable by its key; iteration order is
+  // ascending key order regardless of insertion order.
+  for (const auto& smiles : records) {
+    const MolHash key = hash_bytes(smiles);
+    EXPECT_TRUE(reader->contains(key)) << smiles;
+    const auto idx = reader->find(key);
+    ASSERT_TRUE(idx.has_value()) << smiles;
+    EXPECT_EQ(reader->smiles(*idx), smiles);
+    EXPECT_TRUE(reader->key(*idx) == key);
+  }
+  for (std::size_t i = 1; i < reader->size(); ++i) {
+    EXPECT_TRUE(reader->key(i - 1) < reader->key(i)) << i;
+  }
+  EXPECT_FALSE(reader->contains(hash_bytes("absent")));
+  EXPECT_FALSE(reader->find(hash_bytes("absent")).has_value());
+}
+
+TEST(ShardStore, DuplicateHeavyInsertCountsAreExact) {
+  TempPath file("dups.moldb");
+  ShardWriter writer(file.path());
+  const MolHash a = hash_bytes("CCO");
+  const MolHash b = hash_bytes("CCN");
+  for (int round = 0; round < 50; ++round) {
+    const auto ra = writer.insert(a, "CCO");
+    const auto rb = writer.insert(b, "CCN");
+    const auto expected = round == 0 ? ShardWriter::Insert::kAdded
+                                     : ShardWriter::Insert::kDuplicate;
+    EXPECT_EQ(ra, expected) << round;
+    EXPECT_EQ(rb, expected) << round;
+  }
+  EXPECT_EQ(writer.added(), 2u);
+  EXPECT_EQ(writer.duplicates(), 98u);
+  std::string error;
+  ASSERT_TRUE(writer.finish(&error)) << error;
+
+  const auto reader = ShardReader::open(file.path(), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->size(), 2u);
+}
+
+TEST(ShardStore, RejectsNewlinesAndAbandonedWriterLeavesNoFile) {
+  TempPath file("reject.moldb");
+  {
+    ShardWriter writer(file.path());
+    EXPECT_EQ(writer.insert(hash_bytes("C\nC"), "C\nC"),
+              ShardWriter::Insert::kError);
+    EXPECT_EQ(writer.insert(hash_bytes("CC"), "CC"),
+              ShardWriter::Insert::kAdded);
+    // Destroyed without finish(): the tmp file must be cleaned up and the
+    // final path never created.
+  }
+  std::ifstream final_file(file.path());
+  EXPECT_FALSE(final_file.good());
+  std::ifstream tmp_file(file.path() + ".tmp");
+  EXPECT_FALSE(tmp_file.good());
+}
+
+TEST(ShardStore, ZeroRecordShardIsValid) {
+  TempPath file("empty.moldb");
+  make_shard(file.path(), {});
+  std::string error;
+  const auto reader = ShardReader::open(file.path(), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->size(), 0u);
+  EXPECT_EQ(reader->data_bytes(), 0u);
+  EXPECT_FALSE(reader->contains(hash_bytes("CCO")));
+}
+
+TEST(ShardStore, RejectsTruncatedFile) {
+  TempPath file("trunc.moldb");
+  make_shard(file.path(), {"CCO", "CCN", "c1ccccc1"});
+  const std::string bytes = read_file(file.path());
+
+  // Sliced inside the header: too short to even carry the magic.
+  write_file(file.path(), bytes.substr(0, 20));
+  expect_open_fails(file.path(), "truncated header");
+
+  // Sliced inside the index: the stated record count no longer fits.
+  write_file(file.path(), bytes.substr(0, bytes.size() - 10));
+  expect_open_fails(file.path(), "bad index size");
+
+  // Trailing garbage is also rejected: the header must account for every
+  // byte in the file.
+  write_file(file.path(), bytes + "junk");
+  expect_open_fails(file.path(), "file size mismatch");
+}
+
+TEST(ShardStore, RejectsBadMagicAndWrongVersion) {
+  TempPath file("magic.moldb");
+  make_shard(file.path(), {"CCO"});
+  std::string bytes = read_file(file.path());
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  write_file(file.path(), bad_magic);
+  expect_open_fails(file.path(), "bad magic");
+
+  std::string bad_version = bytes;
+  bad_version[8] = static_cast<char>(kShardFormatVersion + 1);
+  write_file(file.path(), bad_version);
+  expect_open_fails(file.path(), "unsupported shard version");
+}
+
+TEST(ShardStore, RejectsCorruptedChecksums) {
+  TempPath file("corrupt.moldb");
+  make_shard(file.path(), {"CCO", "CCN", "c1ccccc1", "CC(C)C"});
+  const std::string bytes = read_file(file.path());
+
+  // Flip one payload byte in the data block (starts at offset 72).
+  std::string bad_data = bytes;
+  bad_data[76] ^= 0x01;
+  write_file(file.path(), bad_data);
+  expect_open_fails(file.path(), "data checksum mismatch");
+
+  // Flip one byte in the index block (the last 4 * 28 bytes).
+  std::string bad_index = bytes;
+  bad_index[bytes.size() - 5] ^= 0x01;
+  write_file(file.path(), bad_index);
+  expect_open_fails(file.path(), "index checksum mismatch");
+}
+
+TEST(ShardStore, MergeDeduplicatesAcrossShardsExactly) {
+  TempPath a("merge_a.moldb"), b("merge_b.moldb"), c("merge_c.moldb");
+  TempPath out("merge_out.moldb");
+  // 3 + 3 + 2 input records; "CCO" in all three, "CCN" in two.
+  make_shard(a.path(), {"CCO", "CCN", "c1ccccc1"});
+  make_shard(b.path(), {"CCO", "CCN", "CC(C)C"});
+  make_shard(c.path(), {"CCO", "CCCC"});
+
+  MergeStats stats;
+  std::string error;
+  ASSERT_TRUE(merge_shards({a.path(), b.path(), c.path()}, out.path(), &stats,
+                           &error))
+      << error;
+  EXPECT_EQ(stats.inputs, 3u);
+  EXPECT_EQ(stats.input_records, 8u);
+  EXPECT_EQ(stats.cross_duplicates, 3u);  // 2 extra CCO + 1 extra CCN
+  EXPECT_EQ(stats.written, 5u);
+
+  const auto reader = ShardReader::open(out.path(), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ASSERT_EQ(reader->size(), 5u);
+  for (const char* smiles : {"CCO", "CCN", "c1ccccc1", "CC(C)C", "CCCC"}) {
+    EXPECT_TRUE(reader->contains(hash_bytes(smiles))) << smiles;
+  }
+
+  // Merging the merge with its own inputs is a fixed point.
+  TempPath again("merge_again.moldb");
+  MergeStats stats2;
+  ASSERT_TRUE(merge_shards({out.path(), a.path()}, again.path(), &stats2,
+                           &error))
+      << error;
+  EXPECT_EQ(stats2.cross_duplicates, 3u);
+  EXPECT_EQ(stats2.written, 5u);
+}
+
+TEST(ShardStore, MergeRejectsKeyCollisionWithDifferingPayloads) {
+  TempPath a("collide_a.moldb"), b("collide_b.moldb");
+  TempPath out("collide_out.moldb");
+  const MolHash shared = hash_bytes("CCO");
+  {
+    ShardWriter writer(a.path());
+    ASSERT_EQ(writer.insert(shared, "CCO"), ShardWriter::Insert::kAdded);
+    std::string error;
+    ASSERT_TRUE(writer.finish(&error)) << error;
+  }
+  {
+    // Same key, different payload: simulates a 128-bit collision (or a
+    // checksummed-but-wrong input). The merge must refuse to pick one.
+    ShardWriter writer(b.path());
+    ASSERT_EQ(writer.insert(shared, "CCN"), ShardWriter::Insert::kAdded);
+    std::string error;
+    ASSERT_TRUE(writer.finish(&error)) << error;
+  }
+  MergeStats stats;
+  std::string error;
+  EXPECT_FALSE(merge_shards({a.path(), b.path()}, out.path(), &stats, &error));
+  EXPECT_NE(error.find("differing payloads"), std::string::npos) << error;
+  std::ifstream output(out.path());
+  EXPECT_FALSE(output.good());  // no partial output left behind
+}
+
+TEST(ShardStore, MergeFailsOnMissingInput) {
+  TempPath a("missing_a.moldb");
+  TempPath out("missing_out.moldb");
+  make_shard(a.path(), {"CCO"});
+  MergeStats stats;
+  std::string error;
+  EXPECT_FALSE(merge_shards({a.path(), "/nonexistent/nope.moldb"}, out.path(),
+                            &stats, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace sqvae::data

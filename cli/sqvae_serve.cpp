@@ -6,27 +6,38 @@
 // encode / decode / reconstruct / latent_sample requests through the
 // micro-batching InferenceService. One JSON-ish request per line in, one
 // response per line out (see src/serve/protocol.h for the exact format).
+// {"op": "stats"} returns the live ServerStats counters.
 //
 // Transports:
 //   * stdin/stdout (default) — requests are submitted as they are read and
 //     responses printed in request order, so a fast piped client exercises
 //     real micro-batch coalescing;
-//   * TCP (--port=N) — one thread per connection, each handling its
-//     connection's requests in order; concurrent connections coalesce into
-//     shared micro-batches. Runs until killed.
+//   * TCP (--port=N) — a single-threaded epoll event loop
+//     (src/serve/event_loop.h) owns every connection: non-blocking reads
+//     with incremental frame parsing, per-connection ordered responses,
+//     bounded output queues, --max_conns admission control, --idle_ms
+//     timeouts. Compute runs on the InferenceService worker pool, so
+//     concurrent connections still coalesce into shared micro-batches.
+//     SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish and
+//     flush in-flight responses, then exit 0.
+//
+// --cache_mb enables the content-addressed response cache
+// (src/serve/response_cache.h): repeated (model generation, endpoint,
+// payload, seed) requests are answered from memory, bit-identical to a
+// fresh execution by the determinism contract.
 //
 // --reference bypasses the service stack entirely and answers each request
 // in-process through serve::execute_single — the determinism contract's
 // reference implementation. Piping the same requests through a normal
-// (multi-worker, micro-batched) server and through --reference must
-// produce byte-identical output; ci/serve_smoke.sh diffs exactly that
-// against a freshly trained checkpoint.
+// (multi-worker, micro-batched, cached) server and through --reference
+// must produce byte-identical output; ci/serve_smoke.sh and
+// ci/serve_soak.sh diff exactly that against freshly trained checkpoints.
 //
 // Examples:
 //   sqvae_serve --checkpoint=run.ckpt --input_dim=64 < requests.jsonl
 //   sqvae_serve --checkpoint=run.ckpt --input_dim=64 --port=7071
-//   echo '{"op": "encode", "x": [...]}' | sqvae_serve --checkpoint=run.ckpt
-#include <chrono>
+//       --cache_mb=64 --max_conns=5000 --shed_queue
+//   echo '{"op": "stats"}' | sqvae_serve --checkpoint=run.ckpt
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
@@ -40,17 +51,15 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/service.h"
+#include "serve/stats.h"
 
 #ifdef __unix__
-#include <arpa/inet.h>
 #include <csignal>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#define SQVAE_SERVE_HAS_TCP 1
+#define SQVAE_SERVE_HAS_SIGNALS 1
 #endif
 
 namespace {
@@ -83,8 +92,8 @@ serve::ModelSpec spec_from_flags(const Flags& flags) {
   return spec;
 }
 
-/// One response slot: either a pre-rendered line (parse failures resolve
-/// immediately) or a pending future, kept in request order.
+/// One response slot: either a pre-rendered line (parse failures and
+/// stats resolve immediately) or a pending future, kept in request order.
 struct Slot {
   bool immediate = false;
   std::string line;
@@ -92,15 +101,15 @@ struct Slot {
   std::future<serve::InferenceResult> future;
 };
 
-/// Serves one request stream in order; shared by stdin mode and each TCP
-/// connection. A reader/writer pair: the reader keeps submitting requests
-/// while earlier ones execute (so a fast pipelined client gets real
-/// micro-batch coalescing), and a dedicated writer thread emits responses
-/// in request order *as they resolve* — a closed-loop client that waits
-/// for each response before sending the next therefore always gets it,
-/// even while the reader is blocked on the next input line.
-void serve_stream(serve::InferenceService& service, std::istream& in,
-                  std::ostream& out) {
+/// Serves one request stream in order (stdin/stdout mode). A
+/// reader/writer pair: the reader keeps submitting requests while earlier
+/// ones execute (so a fast pipelined client gets real micro-batch
+/// coalescing), and a dedicated writer thread emits responses in request
+/// order *as they resolve* — a closed-loop client that waits for each
+/// response before sending the next therefore always gets it, even while
+/// the reader is blocked on the next input line.
+void serve_stream(serve::InferenceService& service, serve::ServerStats& stats,
+                  std::istream& in, std::ostream& out) {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Slot> slots;
@@ -135,9 +144,19 @@ void serve_stream(serve::InferenceService& service, std::istream& in,
     Slot slot;
     if (!serve::parse_request_line(line, &request, &error)) {
       if (error.empty()) continue;  // blank line
+      stats.requests_total.fetch_add(1, std::memory_order_relaxed);
+      stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       slot.immediate = true;
       slot.line = serve::format_parse_error(error);
+    } else if (request.is_stats) {
+      stats.requests_total.fetch_add(1, std::memory_order_relaxed);
+      slot.immediate = true;
+      slot.line = serve::render_stats_response(
+          stats, service.queue().depth(),
+          service.registry().generation(request.model), request.has_id,
+          request.id);
     } else {
+      stats.requests_total.fetch_add(1, std::memory_order_relaxed);
       slot.future = service.submit(request.model, request.endpoint,
                                    std::move(request.x), request.seed);
       // x was just moved out, so the slot keeps only the small fields the
@@ -175,6 +194,7 @@ int run_reference(const std::shared_ptr<const serve::LoadedModel>& loaded,
       out << serve::format_parse_error(error) << '\n';
       continue;
     }
+    if (request.is_stats) continue;  // transport-layer op; nothing to replay
     const serve::InferenceResult result = serve::execute_single(
         *loaded, *replica, request.endpoint, request.x, request.seed);
     out << serve::format_response(request, result) << '\n';
@@ -183,97 +203,47 @@ int run_reference(const std::shared_ptr<const serve::LoadedModel>& loaded,
   return 0;
 }
 
-#ifdef SQVAE_SERVE_HAS_TCP
-/// Minimal istream/ostream pair over a connected socket.
-class SocketStreambuf : public std::streambuf {
- public:
-  explicit SocketStreambuf(int fd) : fd_(fd) {
-    setg(in_, in_, in_);
-    setp(out_, out_ + sizeof(out_));
-  }
-  ~SocketStreambuf() override { sync(); }
+#ifdef SQVAE_SERVE_HAS_SIGNALS
+// Signal handlers may only touch this pointer and call the
+// async-signal-safe request_stop() (one eventfd write).
+serve::EventLoopServer* g_server = nullptr;
 
- protected:
-  int underflow() override {
-    const ssize_t n = ::read(fd_, in_, sizeof(in_));
-    if (n <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + n);
-    return traits_type::to_int_type(*gptr());
-  }
-  int overflow(int c) override {
-    if (sync() != 0) return traits_type::eof();
-    if (c != traits_type::eof()) {
-      *pptr() = traits_type::to_char_type(c);
-      pbump(1);
-    }
-    return c;
-  }
-  int sync() override {
-    const char* p = pbase();
-    while (p < pptr()) {
-      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
-      if (n <= 0) return -1;
-      p += n;
-    }
-    setp(out_, out_ + sizeof(out_));
-    return 0;
-  }
-
- private:
-  int fd_;
-  char in_[4096];
-  char out_[4096];
-};
-
-int run_tcp(serve::InferenceService& service, int port) {
-  // A client that disconnects before reading its response must not kill
-  // the server: writes to its dead socket return EPIPE (ending that
-  // handler's stream) instead of raising fatal SIGPIPE.
-  std::signal(SIGPIPE, SIG_IGN);
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 64) < 0) {
-    std::perror("bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  std::fprintf(stderr, "sqvae_serve: listening on 127.0.0.1:%d\n", port);
-  while (true) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
-      // Transient failures (EINTR, EMFILE under load, a connection that
-      // aborted between queueing and accept) must not stop a server that
-      // is documented to run until killed — and must never tear down
-      // `service` while detached handler threads still use it. Back off
-      // briefly and keep accepting.
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      continue;
-    }
-    // Detached: handler threads end with their connection, so a
-    // long-running server never accumulates joinable thread handles. The
-    // server runs until the process is killed, which also reaps any
-    // still-open connections; `service` outlives the accept loop in
-    // main(), so the reference stays valid for every handler.
-    std::thread([&service, fd] {
-      SocketStreambuf buf(fd);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      serve_stream(service, in, out);
-      ::close(fd);
-    }).detach();
-  }
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
 }
-#endif  // SQVAE_SERVE_HAS_TCP
+#endif
+
+int run_event_loop(serve::InferenceService& service,
+                   serve::ServerStats& stats,
+                   const serve::EventLoopConfig& config) {
+  serve::EventLoopServer server(service, config, stats);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "sqvae_serve: %s\n", error.c_str());
+    return 1;
+  }
+#ifdef SQVAE_SERVE_HAS_SIGNALS
+  // A client that disconnects before reading its response must not kill
+  // the server: writes to its dead socket return EPIPE (tearing that
+  // connection down) instead of raising fatal SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  g_server = &server;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+#endif
+  std::fprintf(stderr, "sqvae_serve: listening on 127.0.0.1:%d\n",
+               server.port());
+  const int status = server.run();
+#ifdef SQVAE_SERVE_HAS_SIGNALS
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_server = nullptr;
+#endif
+  // Workers must be joined before `server` is destroyed: their completion
+  // callbacks post into it.
+  service.shutdown();
+  return status;
+}
 
 }  // namespace
 
@@ -304,7 +274,18 @@ int main(int argc, char** argv) {
   flags.add_int("max_queue", 1024,
                 "queued-request bound; submission blocks when full "
                 "(backpressure; 0 = unbounded)");
+  flags.add_bool("shed_queue", false,
+                 "shed (fail fast with an overloaded error) instead of "
+                 "blocking when the queue is full; always on in TCP mode, "
+                 "where the event loop must never block");
+  flags.add_int("cache_mb", 0,
+                "content-addressed response cache budget in MiB (0 = off)");
   flags.add_int("port", 0, "TCP port on 127.0.0.1 (0 = stdin/stdout mode)");
+  flags.add_int("max_conns", 10000,
+                "TCP connection admission limit; connections beyond it get "
+                "one overloaded error line and are closed");
+  flags.add_int("idle_ms", 0,
+                "close TCP connections idle this long (0 = never)");
   flags.add_bool("reference", false,
                  "answer requests in-process without the service stack (the "
                  "determinism reference; for diffing)");
@@ -334,40 +315,52 @@ int main(int argc, char** argv) {
     return run_reference(loaded, std::cin, std::cout);
   }
 
-  serve::ModelRegistry registry;
-  registry.publish("default", loaded);
-  serve::ServeConfig config;
-  config.max_batch = static_cast<std::size_t>(flags.get_int("max_batch"));
-  config.max_batch_wait_us =
-      static_cast<std::uint64_t>(flags.get_int("max_wait_us"));
-  config.threads = static_cast<int>(flags.get_int("threads"));
-  config.max_queue = static_cast<std::size_t>(flags.get_int("max_queue"));
-  serve::InferenceService service(registry, config);
-
-  int status = 0;
   const int port = static_cast<int>(flags.get_int("port"));
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "--port=%d is out of range (1-65535, 0 = stdin)\n",
                  port);
     return 2;
   }
+
+  serve::ModelRegistry registry;
+  registry.publish("default", loaded);
+  serve::ServerStats stats;
+  serve::ServeConfig config;
+  config.max_batch = static_cast<std::size_t>(flags.get_int("max_batch"));
+  config.max_batch_wait_us =
+      static_cast<std::uint64_t>(flags.get_int("max_wait_us"));
+  config.threads = static_cast<int>(flags.get_int("threads"));
+  config.max_queue = static_cast<std::size_t>(flags.get_int("max_queue"));
+  config.shed_on_full = flags.get_bool("shed_queue") || port != 0;
+  config.cache_bytes =
+      static_cast<std::size_t>(flags.get_int("cache_mb")) << 20;
+  serve::InferenceService service(registry, config, &stats);
+
+  int status = 0;
   if (port != 0) {
-#ifdef SQVAE_SERVE_HAS_TCP
-    status = run_tcp(service, port);
-#else
-    std::fprintf(stderr, "TCP mode is not available on this platform\n");
-    status = 2;
-#endif
+    serve::EventLoopConfig loop_config;
+    loop_config.port = port;
+    loop_config.max_conns =
+        static_cast<std::size_t>(flags.get_int("max_conns"));
+    loop_config.idle_timeout_ms =
+        static_cast<std::uint64_t>(flags.get_int("idle_ms"));
+    status = run_event_loop(service, stats, loop_config);
   } else {
-    serve_stream(service, std::cin, std::cout);
+    serve_stream(service, stats, std::cin, std::cout);
   }
 
   service.shutdown();
   std::fprintf(stderr,
                "sqvae_serve: %llu request(s) in %llu batch(es), "
-               "%d worker(s), max_batch %zu\n",
+               "%d worker(s), max_batch %zu, %llu cache hit(s), "
+               "%llu shed\n",
                static_cast<unsigned long long>(service.queue().total_requests()),
                static_cast<unsigned long long>(service.queue().total_batches()),
-               service.num_workers(), config.max_batch);
+               service.num_workers(), config.max_batch,
+               static_cast<unsigned long long>(
+                   stats.cache_hits.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   stats.requests_shed.load(std::memory_order_relaxed) +
+                   stats.connections_shed.load(std::memory_order_relaxed)));
   return status;
 }

@@ -174,7 +174,8 @@ std::vector<EpochStats> Trainer::fit(const data::RowSource& train,
       epochs_since_improvement >= config_.early_stop_patience;
   if (already_stopped) start_epoch = config_.epochs;
 
-  const int threads = resolve_threads(model_, config_);
+  // Only consumed by the omp pragma below; unused in OpenMP-less builds.
+  [[maybe_unused]] const int threads = resolve_threads(model_, config_);
 
   std::vector<EpochStats> history;
   history.reserve(config_.epochs > start_epoch ? config_.epochs - start_epoch

@@ -1,5 +1,6 @@
 #include "serve/batch_queue.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace sqvae::serve {
@@ -34,37 +35,72 @@ bool parse_endpoint(const std::string& name, Endpoint* out) {
 }
 
 BatchQueue::BatchQueue(std::size_t max_batch, std::uint64_t max_wait_us,
-                       std::size_t max_depth)
+                       std::size_t max_depth, bool shed_on_full,
+                       ServerStats* stats)
     : max_batch_(max_batch == 0 ? 1 : max_batch),
       max_wait_us_(max_wait_us),
-      max_depth_(max_depth) {}
+      max_depth_(max_depth),
+      shed_on_full_(shed_on_full),
+      stats_(stats) {}
 
-std::future<InferenceResult> BatchQueue::push(std::string model,
-                                              Endpoint endpoint,
-                                              std::vector<double> input,
-                                              std::uint64_t seed) {
+std::future<InferenceResult> BatchQueue::push(
+    std::string model, Endpoint endpoint, std::vector<double> input,
+    std::uint64_t seed, Priority priority,
+    std::function<void(const InferenceResult&)> on_done) {
   Request request;
   request.model = std::move(model);
   request.endpoint = endpoint;
   request.input = std::move(input);
   request.seed = seed;
+  request.priority = priority;
+  request.on_done = std::move(on_done);
   std::future<InferenceResult> future = request.promise.get_future();
+
+  auto resolve_now = [&request](std::string error) {
+    InferenceResult result;
+    result.error = std::move(error);
+    if (request.on_done) request.on_done(result);
+    request.promise.set_value(std::move(result));
+  };
+
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (max_depth_ > 0) {
-      // Backpressure: block the producer until a worker makes room (or
-      // the queue closes). pop_batch notifies after removing requests.
-      cv_.wait(lock,
-               [this] { return closed_ || queue_.size() < max_depth_; });
+      // High-priority requests may dip into a reserve beyond max_depth
+      // (max_depth/4 extra, at least 1) so a backlog of expensive
+      // normal-lane work can neither starve nor shed the cheap lane.
+      const std::size_t limit =
+          priority == Priority::kHigh
+              ? max_depth_ + std::max<std::size_t>(1, max_depth_ / 4)
+              : max_depth_;
+      if (shed_on_full_) {
+        // Load shedding: never block the producer (the event loop's one
+        // thread); reply overloaded immediately.
+        if (!closed_ && depth_locked() >= limit) {
+          ++total_shed_;
+          if (stats_ != nullptr) {
+            stats_->requests_shed.fetch_add(1, std::memory_order_relaxed);
+          }
+          lock.unlock();
+          resolve_now("overloaded: queue full, request shed");
+          return future;
+        }
+      } else {
+        // Backpressure: block the producer until a worker makes room (or
+        // the queue closes). pop_batch notifies after removing requests.
+        cv_.wait(lock, [this, limit] {
+          return closed_ || depth_locked() < limit;
+        });
+      }
     }
     if (closed_) {
-      InferenceResult result;
-      result.error = "service is shut down";
-      request.promise.set_value(std::move(result));
+      lock.unlock();
+      resolve_now("service is shut down");
       return future;
     }
     request.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(request));
+    (priority == Priority::kHigh ? high_ : normal_)
+        .push_back(std::move(request));
     ++total_requests_;
   }
   // notify_all, not notify_one: the woken worker may be one that is
@@ -78,25 +114,30 @@ void BatchQueue::collect_matching(std::vector<Request>& batch) {
   // Copied, not referenced: push_back below may reallocate `batch`.
   const std::string model = batch.front().model;
   const Endpoint endpoint = batch.front().endpoint;
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch.size() < max_batch_;) {
-    if (it->model == model && it->endpoint == endpoint) {
-      batch.push_back(std::move(*it));
-      it = queue_.erase(it);
-    } else {
-      ++it;
+  for (std::deque<Request>* lane : {&high_, &normal_}) {
+    for (auto it = lane->begin();
+         it != lane->end() && batch.size() < max_batch_;) {
+      if (it->model == model && it->endpoint == endpoint) {
+        batch.push_back(std::move(*it));
+        it = lane->erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 std::vector<Request> BatchQueue::pop_batch() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  cv_.wait(lock, [this] { return closed_ || depth_locked() > 0; });
   std::vector<Request> batch;
-  if (queue_.empty()) return batch;  // closed and drained
+  if (depth_locked() == 0) return batch;  // closed and drained
 
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
+  // Seed the batch from the high lane when it has work; coalescing below
+  // still spans both lanes, so priority never reduces batching.
+  std::deque<Request>& lane = high_.empty() ? normal_ : high_;
+  batch.push_back(std::move(lane.front()));
+  lane.pop_front();
   collect_matching(batch);
 
   if (batch.size() < max_batch_ && max_wait_us_ > 0 && !closed_) {
@@ -133,7 +174,7 @@ void BatchQueue::close() {
 
 std::size_t BatchQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return depth_locked();
 }
 
 std::uint64_t BatchQueue::total_requests() const {
@@ -144,6 +185,11 @@ std::uint64_t BatchQueue::total_requests() const {
 std::uint64_t BatchQueue::total_batches() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_batches_;
+}
+
+std::uint64_t BatchQueue::total_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_shed_;
 }
 
 }  // namespace sqvae::serve

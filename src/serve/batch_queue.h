@@ -26,16 +26,37 @@
 // Requests with different keys are left queued for other workers, so one
 // slow model cannot head-of-line-block another model's traffic beyond the
 // scan cost.
+//
+// Admission control (the internet-shaped additions):
+//
+//   * Load shedding — with `shed_on_full` a push into a full queue fails
+//     *immediately* with an "overloaded" error instead of blocking the
+//     producer. Blocking backpressure is right for a pipe (stdin mode:
+//     the OS pipe buffer backpressures the writer), but an event loop
+//     must never block its only thread — it replies "overloaded" and
+//     stays responsive. Shed requests count in total_shed() (and the
+//     optional ServerStats' requests_shed).
+//   * Priority lane — pushes carry a Priority; workers drain the high
+//     lane first and high-priority pushes are admitted into a reserve
+//     beyond max_depth (max_depth/4 extra), so cheap interactive
+//     endpoints (encode/decode — one coalesced forward pass) are neither
+//     starved nor shed by a backlog of expensive reconstructs. Coalescing
+//     spans both lanes: a batch seeded from the high lane absorbs
+//     matching normal-lane requests too, so priority never *reduces*
+//     batching.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "serve/stats.h"
 
 namespace sqvae::serve {
 
@@ -55,6 +76,12 @@ struct InferenceResult {
   std::vector<double> values;  // latent or feature row
 };
 
+/// Queue lane of a request (see the admission-control notes above).
+enum class Priority {
+  kNormal,
+  kHigh,
+};
+
 struct Request {
   std::string model;  // registry name
   Endpoint endpoint = Endpoint::kReconstruct;
@@ -63,26 +90,38 @@ struct Request {
   /// noise, latent sampling, stochastic measurement streams) derives from
   /// this seed and nothing else — the serving determinism contract.
   std::uint64_t seed = 0;
+  Priority priority = Priority::kNormal;
   std::promise<InferenceResult> promise;
+  /// Called (if set) by the executing worker with the result, right
+  /// before the promise is fulfilled — the callback seam event-driven
+  /// callers (the epoll loop, the response cache's owner path) use
+  /// instead of blocking on the future. Runs on the worker thread.
+  std::function<void(const InferenceResult&)> on_done;
   /// Set by push(); anchors the straggler-wait deadline.
   std::chrono::steady_clock::time_point enqueued{};
 };
 
 class BatchQueue {
  public:
-  /// `max_depth` bounds the number of queued (not yet popped) requests:
-  /// push() blocks once the queue is full, giving producers natural
-  /// backpressure — a pipelined client streaming millions of requests
-  /// holds O(max_depth) of them in memory, not the whole backlog.
-  /// 0 = unbounded.
+  /// `max_depth` bounds the number of queued (not yet popped) requests.
+  /// When full: with `shed_on_full` false (default), push() blocks —
+  /// natural backpressure for pipe producers; with it true, push() fails
+  /// the future immediately with an "overloaded" error (load shedding;
+  /// see the admission-control notes above). 0 = unbounded.
+  /// `stats` (optional) receives shed counts.
   BatchQueue(std::size_t max_batch, std::uint64_t max_wait_us,
-             std::size_t max_depth = 0);
+             std::size_t max_depth = 0, bool shed_on_full = false,
+             ServerStats* stats = nullptr);
 
   /// Enqueues a request; the future resolves when a worker finishes it.
-  /// Blocks while the queue is at max_depth (see above).
-  std::future<InferenceResult> push(std::string model, Endpoint endpoint,
-                                    std::vector<double> input,
-                                    std::uint64_t seed);
+  /// Blocks while the queue is at max_depth (unless shedding — see
+  /// above). High-priority requests may use the reserve beyond
+  /// max_depth. `on_done` (optional) is invoked by the worker with the
+  /// result just before the future resolves.
+  std::future<InferenceResult> push(
+      std::string model, Endpoint endpoint, std::vector<double> input,
+      std::uint64_t seed, Priority priority = Priority::kNormal,
+      std::function<void(const InferenceResult&)> on_done = nullptr);
 
   /// Blocks until at least one request is available (or the queue closes),
   /// then coalesces up to max_batch same-key requests as described above.
@@ -99,22 +138,32 @@ class BatchQueue {
   // report).
   std::uint64_t total_requests() const;
   std::uint64_t total_batches() const;
+  std::uint64_t total_shed() const;
 
  private:
   /// Moves every queued request matching (model, endpoint) of `batch[0]`
-  /// into `batch`, up to max_batch_. Caller holds mu_.
+  /// into `batch` — high lane first, then normal — up to max_batch_.
+  /// Caller holds mu_.
   void collect_matching(std::vector<Request>& batch);
+  /// Queued request count across both lanes. Caller holds mu_.
+  std::size_t depth_locked() const {
+    return high_.size() + normal_.size();
+  }
 
   const std::size_t max_batch_;
   const std::uint64_t max_wait_us_;
   const std::size_t max_depth_;
+  const bool shed_on_full_;
+  ServerStats* const stats_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Request> queue_;
+  std::deque<Request> high_;
+  std::deque<Request> normal_;
   bool closed_ = false;
   std::uint64_t total_requests_ = 0;
   std::uint64_t total_batches_ = 0;
+  std::uint64_t total_shed_ = 0;
 };
 
 }  // namespace sqvae::serve

@@ -1,0 +1,103 @@
+// EventLoopServer: non-blocking epoll front end for sqvae_serve.
+//
+// One thread owns every socket. The pre-PR TCP front end spawned a
+// detached reader/writer thread pair per connection, which caps a process
+// at a few hundred sockets (two stacks each, scheduler pressure, no
+// admission control). This loop replaces those threads with a single
+// epoll_wait dispatcher holding tens of thousands of connections, while
+// compute stays exactly where it was: the InferenceService worker pool.
+//
+//   * Edge-triggered readiness (EPOLLET): every readable event drains the
+//     socket to EAGAIN into the connection's input buffer; frames (lines)
+//     are carved off incrementally, so a request split one byte per
+//     segment and ten requests coalesced into one segment both parse
+//     identically (tests feed both shapes).
+//   * Per-connection ordered response slots: each parsed request claims
+//     the next slot in arrival order; worker callbacks complete slots out
+//     of order (via a completion queue + eventfd wakeup), and the writer
+//     flushes only the ready in-order prefix — responses leave in request
+//     order per connection, same contract as the old thread pair.
+//   * Bounded output queue: a connection whose unread responses exceed
+//     max_outbuf_bytes stops having its input parsed (TCP backpressures
+//     the sender) until the backlog drains — one slow reader cannot
+//     balloon server memory.
+//   * Admission control: beyond max_conns, a new connection gets one
+//     "overloaded" error line and is closed (counted in
+//     connections_shed); queue-level shedding is the service's
+//     shed_on_full (see batch_queue.h).
+//   * Idle timeout: connections with no traffic and no pending work for
+//     idle_timeout_ms are closed (connections_idle_closed).
+//   * Dead peers: EPIPE / ECONNRESET / unexpected EOF tear the
+//     connection down immediately with stats accounting
+//     (connections_reset); in-flight results for it are dropped on
+//     arrival. A half-closed peer (FIN after its last request) still
+//     receives every pending response before the server closes.
+//   * Graceful drain: request_stop() (async-signal-safe — callable from
+//     a SIGTERM handler) stops accepting, parses no further input,
+//     finishes and flushes every in-flight response, then closes within
+//     drain_timeout_ms.
+//
+// Not built on non-Linux platforms (epoll): start() fails with an error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/service.h"
+#include "serve/stats.h"
+
+namespace sqvae::serve {
+
+struct EventLoopConfig {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read the choice via port()).
+  int port = 0;
+  int listen_backlog = 1024;
+  /// Connection-count admission limit (see header notes).
+  std::size_t max_conns = 10000;
+  /// A single request line larger than this is a protocol error and
+  /// closes the connection (frame-flood protection).
+  std::size_t max_line_bytes = 1 << 20;
+  /// Output backlog cap per connection; above it, input parsing pauses.
+  std::size_t max_outbuf_bytes = 4u << 20;
+  /// Close connections idle (no traffic, no pending work) this long.
+  /// 0 = never.
+  std::uint64_t idle_timeout_ms = 0;
+  /// Graceful-drain deadline after request_stop().
+  std::uint64_t drain_timeout_ms = 10000;
+};
+
+class EventLoopServer {
+ public:
+  /// `service` and `stats` must outlive the server. The service should be
+  /// configured with shed_on_full (the loop must never block in submit).
+  EventLoopServer(InferenceService& service, const EventLoopConfig& config,
+                  ServerStats& stats);
+  /// The service must be shut down (workers joined) before destruction:
+  /// worker completion callbacks post into this object.
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  /// Binds and listens. False + `error` on failure (port in use,
+  /// unsupported platform).
+  bool start(std::string* error);
+
+  /// The bound port (after start(); resolves config.port == 0).
+  int port() const;
+
+  /// Runs the loop on the calling thread until request_stop() completes a
+  /// drain. Returns 0 on a clean drain, 1 on a loop-level failure.
+  int run();
+
+  /// Initiates graceful drain; async-signal-safe (one eventfd write).
+  /// Safe to call from any thread, multiple times.
+  void request_stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sqvae::serve

@@ -233,9 +233,13 @@ bool parse_request_line(const std::string& line, WireRequest* out,
     *error = "missing \"op\"";
     return false;
   }
+  if (out->op == "stats") {
+    out->is_stats = true;
+    return true;
+  }
   if (!parse_endpoint(out->op, &out->endpoint)) {
     *error = "unknown op: " + out->op +
-             " (encode, decode, reconstruct, latent_sample)";
+             " (encode, decode, reconstruct, latent_sample, stats)";
     return false;
   }
   return true;

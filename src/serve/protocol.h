@@ -36,6 +36,9 @@ struct WireRequest {
   bool has_id = false;
   std::uint64_t id = 0;
 
+  /// True for {"op": "stats"}: answered by the transport layer (event
+  /// loop or stdin driver) from its ServerStats, never enqueued.
+  bool is_stats = false;
   Endpoint endpoint = Endpoint::kReconstruct;  // parsed from op
 };
 

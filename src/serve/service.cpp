@@ -49,6 +49,13 @@ InferenceResult failure(std::string message) {
   return result;
 }
 
+/// Resolves one request: the callback seam first (event loop / cache
+/// owners — see batch_queue.h), then the promise.
+void finish(Request& request, InferenceResult result) {
+  if (request.on_done) request.on_done(result);
+  request.promise.set_value(std::move(result));
+}
+
 /// Validates a request's payload against the model; returns an empty
 /// string when valid.
 std::string validate(const LoadedModel& loaded, Endpoint endpoint,
@@ -198,11 +205,29 @@ InferenceResult execute_single(const LoadedModel& loaded,
   return result;
 }
 
+Priority endpoint_priority(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kEncode:
+    case Endpoint::kDecode:
+      return Priority::kHigh;
+    case Endpoint::kReconstruct:
+    case Endpoint::kLatentSample:
+      return Priority::kNormal;
+  }
+  return Priority::kNormal;
+}
+
 InferenceService::InferenceService(ModelRegistry& registry,
-                                   const ServeConfig& config)
+                                   const ServeConfig& config,
+                                   ServerStats* stats)
     : registry_(registry),
       config_(config),
-      queue_(config.max_batch, config.max_batch_wait_us, config.max_queue) {
+      stats_(stats),
+      cache_(config.cache_bytes > 0
+                 ? std::make_unique<ResponseCache>(config.cache_bytes, stats)
+                 : nullptr),
+      queue_(config.max_batch, config.max_batch_wait_us, config.max_queue,
+             config.shed_on_full, stats) {
   int threads = config.threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -229,7 +254,62 @@ std::future<InferenceResult> InferenceService::submit(const std::string& model,
                                                       Endpoint endpoint,
                                                       std::vector<double> input,
                                                       std::uint64_t seed) {
-  return queue_.push(model, endpoint, std::move(input), seed);
+  if (cache_ == nullptr) {
+    return queue_.push(model, endpoint, std::move(input), seed,
+                       endpoint_priority(endpoint));
+  }
+  // Cached path: adapt the callback seam back to a future. The promise
+  // must be shared because the callback may outlive this frame (it fires
+  // on a worker thread).
+  auto promise = std::make_shared<std::promise<InferenceResult>>();
+  std::future<InferenceResult> future = promise->get_future();
+  submit_cb(model, endpoint, std::move(input), seed,
+            [promise](const InferenceResult& result) {
+              promise->set_value(result);
+            });
+  return future;
+}
+
+void InferenceService::submit_cb(
+    const std::string& model, Endpoint endpoint, std::vector<double> input,
+    std::uint64_t seed, std::function<void(const InferenceResult&)> done) {
+  const Priority priority = endpoint_priority(endpoint);
+  if (cache_ == nullptr) {
+    queue_.push(model, endpoint, std::move(input), seed, priority,
+                std::move(done));
+    return;
+  }
+
+  // The registry generation stands in for "model parameters" in the key
+  // (unique per publish — see response_cache.h). Generation 0 = unknown
+  // model; let the queue path produce the canonical error.
+  const std::uint64_t generation = registry_.generation(model);
+  const CacheKey key =
+      response_cache_key(generation, endpoint, input, seed);
+
+  InferenceResult cached;
+  const ResponseCache::Lookup outcome =
+      cache_->lookup_or_join(key, &cached, done);
+  switch (outcome) {
+    case ResponseCache::Lookup::kHit:
+      done(cached);
+      return;
+    case ResponseCache::Lookup::kJoined:
+      return;  // the owner's publish resolves `done`
+    case ResponseCache::Lookup::kOwner:
+      break;
+  }
+
+  // Owner: compute through the queue, publish the result (which stores
+  // it if ok and resolves every waiter that joined meanwhile), then
+  // answer this request. Shed/closed failures also flow through publish,
+  // so joined waiters never hang on an owner that was refused admission.
+  ResponseCache* cache = cache_.get();
+  queue_.push(model, endpoint, std::move(input), seed, priority,
+              [cache, key, done](const InferenceResult& result) {
+                cache->publish(key, result);
+                done(result);
+              });
 }
 
 InferenceResult InferenceService::encode(const std::vector<double>& x,
@@ -271,7 +351,7 @@ void InferenceService::execute_batch(
   const ModelEntry entry = registry_.get(name);
   if (entry.model == nullptr) {
     for (Request& r : batch) {
-      r.promise.set_value(failure("unknown model: " + name));
+      finish(r, failure("unknown model: " + name));
     }
     return;
   }
@@ -284,7 +364,7 @@ void InferenceService::execute_batch(
   }
   if (replica.model == nullptr) {
     for (Request& r : batch) {
-      r.promise.set_value(failure("internal error: replica build failed"));
+      finish(r, failure("internal error: replica build failed"));
     }
     return;
   }
@@ -297,7 +377,7 @@ void InferenceService::execute_batch(
   for (Request& r : batch) {
     const std::string error = validate(loaded, endpoint, r.input);
     if (!error.empty()) {
-      r.promise.set_value(failure(error));
+      finish(r, failure(error));
     } else {
       work.push_back(&r);
     }
@@ -312,7 +392,7 @@ void InferenceService::execute_batch(
       InferenceResult result;
       result.ok = true;
       result.values = std::move(rows[i]);
-      work[i]->promise.set_value(std::move(result));
+      finish(*work[i], std::move(result));
     }
     return;
   }
@@ -320,8 +400,8 @@ void InferenceService::execute_batch(
   // Stochastic (or per-request-noise) work: the batch still amortised
   // queue/wakeup costs, but execution is per request by contract.
   for (Request* r : work) {
-    r->promise.set_value(
-        execute_single(loaded, *replica.model, endpoint, r->input, r->seed));
+    finish(*r,
+           execute_single(loaded, *replica.model, endpoint, r->input, r->seed));
   }
 }
 

@@ -44,6 +44,8 @@
 #include "serve/batch_queue.h"
 #include "serve/loaded_model.h"
 #include "serve/registry.h"
+#include "serve/response_cache.h"
+#include "serve/stats.h"
 
 namespace sqvae::serve {
 
@@ -62,7 +64,21 @@ struct ServeConfig {
   /// queued, backpressuring producers so an unbounded pipelined client
   /// cannot balloon memory. 0 = unbounded.
   std::size_t max_queue = 1024;
+  /// Load shedding: when true, a submit into a full queue fails
+  /// immediately with an "overloaded" error instead of blocking — the
+  /// admission-control mode the event loop requires (batch_queue.h).
+  bool shed_on_full = false;
+  /// Response-cache byte budget; 0 disables caching entirely (no keying,
+  /// no in-flight dedup). The determinism contract makes responses
+  /// content-addressable — see response_cache.h.
+  std::size_t cache_bytes = 0;
 };
+
+/// Queue lane of an endpoint: encode/decode are one cheap coalesced
+/// forward pass and ride the high-priority lane so a backlog of
+/// reconstructs cannot starve them; reconstruct/latent_sample (full
+/// passes, per-request noise for VAEs) ride the normal lane.
+Priority endpoint_priority(Endpoint endpoint);
 
 /// Reference implementation of one request — see the determinism contract
 /// above. `replica` must be a private (not concurrently used) replica of
@@ -74,18 +90,33 @@ InferenceResult execute_single(const LoadedModel& loaded,
 
 class InferenceService {
  public:
-  /// The registry must outlive the service. Workers start immediately.
-  InferenceService(ModelRegistry& registry, const ServeConfig& config);
+  /// The registry must outlive the service; so must `stats` when given
+  /// (it receives cache and shed counters). Workers start immediately.
+  InferenceService(ModelRegistry& registry, const ServeConfig& config,
+                   ServerStats* stats = nullptr);
   ~InferenceService();
 
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
 
-  /// Asynchronous submission; the future resolves when a worker finishes.
+  /// Asynchronous submission; the future resolves when a worker finishes
+  /// (or immediately: cache hit, shed, validation). Routed through the
+  /// response cache when one is configured.
   std::future<InferenceResult> submit(const std::string& model,
                                       Endpoint endpoint,
                                       std::vector<double> input,
                                       std::uint64_t seed);
+
+  /// Callback form of submit — the seam the epoll event loop uses: no
+  /// future, no blocking. `done` is invoked exactly once with the result:
+  /// inline (on the calling thread) for cache hits and immediate
+  /// failures, on a worker thread otherwise, and on the *owner's* worker
+  /// thread for requests that joined an in-flight duplicate. Callbacks
+  /// must be cheap and non-blocking — workers execute them on the hot
+  /// path.
+  void submit_cb(const std::string& model, Endpoint endpoint,
+                 std::vector<double> input, std::uint64_t seed,
+                 std::function<void(const InferenceResult&)> done);
 
   // ---- synchronous conveniences ----------------------------------------
   InferenceResult encode(const std::vector<double>& x, std::uint64_t seed,
@@ -107,6 +138,10 @@ class InferenceService {
   /// Queue statistics (total_requests / total_batches expose the achieved
   /// coalescing ratio).
   const BatchQueue& queue() const { return queue_; }
+  /// The response cache, or null when cache_bytes was 0.
+  const ResponseCache* cache() const { return cache_.get(); }
+  /// The registry this service serves from (for /stats generation).
+  const ModelRegistry& registry() const { return registry_; }
 
  private:
   /// One worker's cached materialisation of a registry entry.
@@ -122,6 +157,8 @@ class InferenceService {
 
   ModelRegistry& registry_;
   ServeConfig config_;
+  ServerStats* stats_;
+  std::unique_ptr<ResponseCache> cache_;
   BatchQueue queue_;
   std::vector<std::thread> workers_;
   bool shut_down_ = false;

@@ -1,0 +1,80 @@
+#include "serve/stats.h"
+
+#include <cstdio>
+
+namespace sqvae::serve {
+
+double LatencyHistogram::percentile_us(double q) const {
+  // Snapshot the buckets once; concurrent recording keeps each bucket
+  // individually exact, so the estimate is a valid point-in-time view.
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  // The q-th sample (1-based rank) and the bucket that holds it.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts[b];
+    if (static_cast<double>(seen) < rank) continue;
+    // Linear interpolation inside [2^(b-1), 2^b) (bucket 0 = [0, 1]).
+    const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+    const double hi = static_cast<double>(1ull << b);
+    const double frac =
+        counts[b] == 0 ? 0.0
+                       : (rank - before) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+  }
+  return static_cast<double>(1ull << (kBuckets - 1));
+}
+
+std::string render_stats_response(const ServerStats& stats,
+                                  std::uint64_t queue_depth,
+                                  std::uint64_t registry_generation,
+                                  bool has_id, std::uint64_t id) {
+  const auto v = [](const std::atomic<std::uint64_t>& a) {
+    return static_cast<unsigned long long>(a.load(std::memory_order_relaxed));
+  };
+  char buf[1536];
+  int n = std::snprintf(buf, sizeof(buf), "{\"ok\": true, ");
+  if (has_id) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       "\"id\": %llu, ", static_cast<unsigned long long>(id));
+  }
+  n += std::snprintf(
+      buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+      "\"op\": \"stats\", "
+      "\"connections_accepted\": %llu, \"connections_active\": %llu, "
+      "\"connections_closed\": %llu, \"connections_reset\": %llu, "
+      "\"connections_shed\": %llu, \"connections_idle_closed\": %llu, "
+      "\"requests_total\": %llu, \"responses_total\": %llu, "
+      "\"protocol_errors\": %llu, \"requests_shed\": %llu, "
+      "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+      "\"cache_inflight_joined\": %llu, \"cache_evictions\": %llu, "
+      "\"cache_bytes\": %llu, \"cache_entries\": %llu, "
+      "\"queue_depth\": %llu, \"registry_generation\": %llu, "
+      "\"latency_count\": %llu, \"latency_p50_us\": %.1f, "
+      "\"latency_p99_us\": %.1f}",
+      v(stats.connections_accepted), v(stats.connections_active),
+      v(stats.connections_closed), v(stats.connections_reset),
+      v(stats.connections_shed), v(stats.connections_idle_closed),
+      v(stats.requests_total), v(stats.responses_total),
+      v(stats.protocol_errors), v(stats.requests_shed), v(stats.cache_hits),
+      v(stats.cache_misses), v(stats.cache_inflight_joined),
+      v(stats.cache_evictions), v(stats.cache_bytes), v(stats.cache_entries),
+      static_cast<unsigned long long>(queue_depth),
+      static_cast<unsigned long long>(registry_generation),
+      static_cast<unsigned long long>(stats.latency.count()),
+      stats.latency.percentile_us(0.50), stats.latency.percentile_us(0.99));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace sqvae::serve

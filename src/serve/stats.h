@@ -1,0 +1,106 @@
+// ServerStats: lock-free serving observability for the /stats endpoint.
+//
+// Every counter is a relaxed std::atomic: producers (the event-loop
+// thread, worker threads finishing requests, the response cache) bump
+// them on hot paths without synchronisation, and the /stats endpoint
+// renders a point-in-time snapshot. Relaxed ordering is sound because the
+// numbers are monitoring data — each counter is individually exact
+// (atomic increments never lose updates), only cross-counter consistency
+// is approximate, which is the universal contract of stats endpoints.
+//
+// Latency lives in a fixed log2-bucketed histogram (LatencyHistogram):
+// recording is one atomic increment into the bucket of
+// floor(log2(micros)), and percentiles are reconstructed at read time
+// with linear interpolation inside the winning bucket — p50/p99 accurate
+// to well under a bucket width (~2x resolution), with zero allocation and
+// a bounded footprint regardless of traffic volume.
+//
+// The /stats wire format is the serve line protocol's response shape: one
+// flat JSON object of numeric key/values (see render_stats_response), so
+// the same minimal parsers that read inference replies read stats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sqvae::serve {
+
+/// Log2-bucketed latency histogram over microseconds. Bucket b counts
+/// samples with floor(log2(us)) == b (bucket 0 additionally holds 0us);
+/// 40 buckets cover ~12 days, far beyond any request latency.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void record_us(std::uint64_t us) {
+    int b = 0;
+    while (us > 1 && b < kBuckets - 1) {
+      us >>= 1;
+      ++b;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Percentile estimate in microseconds (q in [0, 1]): finds the bucket
+  /// holding the q-th sample and interpolates linearly inside it. 0 when
+  /// the histogram is empty.
+  double percentile_us(double q) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// One process-wide bundle of serving counters. All monotonic except the
+/// explicit gauges. Members are written by the event loop, the service's
+/// worker threads, and the response cache; read by /stats.
+struct ServerStats {
+  // ---- connections (event loop) ---------------------------------------
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_active{0};  // gauge
+  std::atomic<std::uint64_t> connections_closed{0};
+  /// Peer died mid-stream: EPIPE / ECONNRESET / EOF with unread output.
+  std::atomic<std::uint64_t> connections_reset{0};
+  /// Admission control: accepted then refused because the connection
+  /// limit was reached (the peer gets one overloaded error line).
+  std::atomic<std::uint64_t> connections_shed{0};
+  std::atomic<std::uint64_t> connections_idle_closed{0};
+
+  // ---- requests --------------------------------------------------------
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> responses_total{0};
+  /// Lines that failed to parse (the client got an error reply).
+  std::atomic<std::uint64_t> protocol_errors{0};
+  /// Requests refused with the overloaded error by queue load shedding.
+  std::atomic<std::uint64_t> requests_shed{0};
+
+  // ---- response cache --------------------------------------------------
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  /// Requests that joined an identical in-flight computation instead of
+  /// recomputing (the dedup win: N identical concurrent requests cost one
+  /// execution).
+  std::atomic<std::uint64_t> cache_inflight_joined{0};
+  std::atomic<std::uint64_t> cache_evictions{0};
+  std::atomic<std::uint64_t> cache_bytes{0};    // gauge
+  std::atomic<std::uint64_t> cache_entries{0};  // gauge
+
+  /// Wall time from request parse to response ready.
+  LatencyHistogram latency;
+};
+
+/// Renders the /stats response line: {"ok": true, "op": "stats", ...} with
+/// every counter above plus the sampled gauges passed in (queue depth and
+/// registry generation live outside ServerStats).
+std::string render_stats_response(const ServerStats& stats,
+                                  std::uint64_t queue_depth,
+                                  std::uint64_t registry_generation,
+                                  bool has_id, std::uint64_t id);
+
+}  // namespace sqvae::serve

@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
       for (std::size_t c = 0; c < m.cols(); ++c) v = std::max(v, m(r, c));
       return v;
     };
-    std::printf("-- input %zu --          -- reconstruction --    -- sample --\n",
+    std::printf(
+        "-- input %zu --          -- reconstruction --    -- sample --\n",
                 d);
     const std::string in_art =
         data::ascii_image(inputs.row(d), 8, row_max(inputs, d));

@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
     config.quantum_lr = 0.001;  // paper: lr 0.001 for the depth study
     config.classical_lr = 0.001;
     const auto history =
-        Trainer(*model, config).fit(split.train.samples, &split.test.samples, r);
+        Trainer(*model, config)
+            .fit(split.train.samples, &split.test.samples, r);
 
     const EpochStats& mid = history[mid_epoch - 1];
     const EpochStats& fin = history[final_epoch - 1];

@@ -34,12 +34,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "serve/event_loop.h"
 #include "serve/protocol.h"
@@ -306,7 +306,7 @@ class ThreadPerConnServer {
       while (true) {
         const int fd = ::accept(listener_, nullptr, nullptr);
         if (fd < 0) return;  // listener closed: shutting down
-        std::lock_guard<std::mutex> lock(mu_);
+        sq::MutexLock lock(mu_);
         handlers_.emplace_back([this, fd] { handle(fd); });
       }
     });
@@ -319,7 +319,7 @@ class ThreadPerConnServer {
     ::shutdown(listener_, SHUT_RDWR);
     ::close(listener_);
     acceptor_.join();
-    std::lock_guard<std::mutex> lock(mu_);
+    sq::MutexLock lock(mu_);
     for (std::thread& t : handlers_) t.join();
     handlers_.clear();
   }
@@ -361,7 +361,7 @@ class ThreadPerConnServer {
   int listener_ = -1;
   int port_ = 0;
   std::thread acceptor_;
-  std::mutex mu_;
+  sq::Mutex mu_;
   std::vector<std::thread> handlers_;
 };
 
@@ -645,7 +645,8 @@ int main(int argc, char** argv) {
 
   int per_client = static_cast<int>(flags.get_int("requests"));
   if (per_client <= 0) per_client = scale.paper ? 600 : 200;
-  const int max_clients = std::max(4, static_cast<int>(flags.get_int("clients")));
+  const int max_clients =
+      std::max(4, static_cast<int>(flags.get_int("clients")));
   const std::size_t max_batch =
       static_cast<std::size_t>(flags.get_int("max_batch"));
   int workers = static_cast<int>(std::thread::hardware_concurrency());
@@ -661,7 +662,9 @@ int main(int argc, char** argv) {
   batched_cfg.threads = workers;
 
   std::vector<int> client_counts = {1, 4};
-  if (max_clients != 4 && max_clients != 1) client_counts.push_back(max_clients);
+  if (max_clients != 4 && max_clients != 1) {
+    client_counts.push_back(max_clients);
+  }
 
   std::vector<AbRow> rows;
   for (int clients : client_counts) {

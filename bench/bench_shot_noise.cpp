@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
     }
     shots_table.add_row({std::to_string(shots),
                          Table::fmt(rms_sum / reps, 5),
-                         Table::fmt(1.0 / std::sqrt(static_cast<double>(shots)), 5)});
+                         Table::fmt(1.0 / std::sqrt(static_cast<double>(shots)),
+                                    5)});
   }
   bench::emit("Shot scaling: <Z> estimation error vs measurement shots",
               shots_table, flags);

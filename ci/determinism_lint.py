@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the sqvae serve/train contract.
+
+Bit-reproducibility is the repo's core guarantee: a response is a pure
+function of (model parameters, endpoint, payload, request seed), and a
+training run is a pure function of its seeds. This checker bans the
+constructs that silently break that contract and that neither the
+compiler nor TSan can catch:
+
+  banned-random    rand()/srand(), wall-clock time() as a value source,
+                   and default-constructed std::random_device -- all
+                   nondeterministic seeds. Use sqvae::Rng with an
+                   explicit seed (src/common/rng.h).
+  unordered-iter   range-for iteration over a declared std::unordered_map
+                   / std::unordered_set. Iteration order is
+                   implementation-defined, so any result built from it is
+                   not reproducible across libstdc++ versions (or even
+                   across runs, with per-process hash seeding elsewhere).
+                   Sort the output, iterate a sorted copy, or annotate why
+                   order cannot matter.
+  naked-mutex      std::mutex / std::condition_variable / std::lock_guard
+                   / std::unique_lock / std::scoped_lock outside
+                   src/common/mutex.h. All locking in src/ goes through
+                   the annotated sq::Mutex wrappers so the clang
+                   -Wthread-safety CI lane sees every acquisition.
+
+Escape hatch: a `// lint-allow(<rule>): reason` comment on the flagged
+line or the line directly above suppresses that rule for that line. The
+reason is not parsed but is required by convention -- an allow without a
+why does not survive review.
+
+Usage:
+  python3 ci/determinism_lint.py [--root DIR] [paths...]   # default: src/
+  python3 ci/determinism_lint.py --self-test
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# src/common/mutex.h is the single sanctioned point of contact with the
+# std primitives (the thing naked-mutex exists to protect).
+NAKED_MUTEX_EXEMPT = ("src/common/mutex.h",)
+
+ALLOW_RE = re.compile(r"//\s*lint-allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+BANNED_RANDOM_PATTERNS = [
+    # rand()/srand() from <cstdlib>: global hidden state, no seed contract.
+    (re.compile(r"(?<![\w:.])s?rand\s*\(\s*\)"), "rand()/srand()"),
+    # time(nullptr)-style wall-clock reads used as values/seeds.
+    (re.compile(r"(?<![\w:.])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "time(nullptr)"),
+    # Default-constructed random_device: nondeterministic entropy source.
+    (re.compile(r"std::random_device\s+\w+\s*[;{(=]"),
+     "std::random_device"),
+    (re.compile(r"std::random_device\s*[{(]\s*[)}]"),
+     "std::random_device"),
+]
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+
+# Range-for headers; the capture is the range expression. Single-line
+# statements only -- multi-line for headers are rare in this codebase and
+# clang-format keeps them that way.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*\([^()]*\))?([^;()]*)\)")
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so line numbers survive. Good enough for a lint: raw
+    strings and trigraphs are not handled (none exist in this repo)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                break
+            i = j  # keep the newline
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join("\n" if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            out.append(" ")
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def balanced_template_end(text: str, start: int) -> int:
+    """Index just past the '>' matching the '<' at text[start]."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def harvest_unordered_names(stripped: str) -> set[str]:
+    """Names of variables/fields declared with an unordered container
+    type, across the whole file set (headers declare, sources iterate)."""
+    names = set()
+    for match in UNORDERED_DECL_RE.finditer(stripped):
+        open_angle = stripped.index("<", match.start())
+        end = balanced_template_end(stripped, open_angle)
+        if end < 0:
+            continue
+        # After the template args: cv/ref noise, then the declared name.
+        tail = stripped[end:end + 160]
+        m = re.match(r"[\s&*]*(?:const\s+)?[\s&*]*([A-Za-z_]\w*)\s*"
+                     r"(?:[;={(,)]|$)", tail)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
+    """Rules suppressed at 1-based lineno (same line or the line above)."""
+    rules: set[str] = set()
+    for idx in (lineno - 1, lineno - 2):
+        if 0 <= idx < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[idx])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def check_file(rel_path: str, text: str, unordered_names: set[str]):
+    """Yields (rule, lineno, message) findings for one file."""
+    raw_lines = text.splitlines()
+    stripped_lines = strip_comments_and_strings(text).splitlines()
+    mutex_exempt = rel_path.replace("\\", "/") in NAKED_MUTEX_EXEMPT
+
+    for lineno, line in enumerate(stripped_lines, start=1):
+        def allowed(rule: str) -> bool:
+            return rule in allowed_rules(raw_lines, lineno)
+
+        for pattern, what in BANNED_RANDOM_PATTERNS:
+            if pattern.search(line) and not allowed("banned-random"):
+                yield ("banned-random", lineno,
+                       f"{what} is nondeterministic; seed a sqvae::Rng "
+                       "explicitly (src/common/rng.h)")
+                break
+
+        if not mutex_exempt and NAKED_MUTEX_RE.search(line):
+            if not allowed("naked-mutex"):
+                yield ("naked-mutex", lineno,
+                       "use sq::Mutex/sq::MutexLock/sq::CondVar "
+                       "(src/common/mutex.h) so -Wthread-safety sees "
+                       "this lock")
+
+        for m in RANGE_FOR_RE.finditer(line):
+            range_expr = m.group(2) or ""
+            if ":" not in range_expr:
+                continue
+            target = range_expr.rsplit(":", 1)[1]
+            idents = IDENT_RE.findall(target)
+            if idents and idents[-1] in unordered_names:
+                if not allowed("unordered-iter"):
+                    yield ("unordered-iter", lineno,
+                           f"iteration order over '{idents[-1]}' is "
+                           "implementation-defined; sort the result or "
+                           "annotate why order cannot matter")
+
+
+def gather_files(root: pathlib.Path, paths: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for p in paths:
+        path = root / p
+        if path.is_file():
+            files.append(path)
+        else:
+            files.extend(sorted(path.rglob("*.h")))
+            files.extend(sorted(path.rglob("*.cpp")))
+    return sorted(set(files))
+
+
+def run_lint(root: pathlib.Path, paths: list[str]) -> int:
+    files = gather_files(root, paths)
+    if not files:
+        print(f"determinism_lint: no files under {paths}", file=sys.stderr)
+        return 2
+
+    texts = {f: f.read_text(encoding="utf-8", errors="replace")
+             for f in files}
+    harvested = {f: harvest_unordered_names(strip_comments_and_strings(t))
+                 for f, t in texts.items()}
+
+    findings = 0
+    for f in files:
+        rel = f.relative_to(root).as_posix()
+        # Per-translation-unit name scope: the file itself plus its
+        # same-stem header (members declared in foo.h, iterated in
+        # foo.cpp). A global scope would collide same-named variables of
+        # different types across unrelated files.
+        unordered_names = set(harvested[f])
+        header = f.with_suffix(".h")
+        if header != f:
+            if header in harvested:
+                unordered_names |= harvested[header]
+            elif header.is_file():
+                unordered_names |= harvest_unordered_names(
+                    strip_comments_and_strings(
+                        header.read_text(encoding="utf-8",
+                                         errors="replace")))
+        for rule, lineno, message in check_file(rel, texts[f],
+                                                unordered_names):
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+            findings += 1
+    if findings:
+        print(f"determinism_lint: {findings} finding(s). Fix them or add "
+              "'// lint-allow(<rule>): reason' where the construct is "
+              "provably sound.", file=sys.stderr)
+        return 1
+    print(f"determinism_lint: {len(files)} file(s) clean")
+    return 0
+
+
+# ---- self-test -----------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (name, source, declared unordered names, expected rules)
+    ("rand", "int x = rand();", set(), {"banned-random"}),
+    ("srand", "srand();", set(), {"banned-random"}),
+    ("time_null", "auto t = time(nullptr);", set(), {"banned-random"}),
+    ("std_time_zero", "auto t = std::time(0);", set(), {"banned-random"}),
+    ("random_device", "std::random_device rd;", set(), {"banned-random"}),
+    ("random_device_tmp", "auto s = std::random_device{}();", set(),
+     {"banned-random"}),
+    ("rng_ok", "sqvae::Rng rng(42); rng.uniform();", set(), set()),
+    ("strand_ok", "int strand(int);", set(), set()),
+    ("time_in_comment", "// call time(nullptr) never", set(), set()),
+    ("time_in_string", 'const char* s = "time(nullptr)";', set(), set()),
+    ("mutex", "std::mutex mu;", set(), {"naked-mutex"}),
+    ("cv", "std::condition_variable cv;", set(), {"naked-mutex"}),
+    ("lock_guard", "std::lock_guard<std::mutex> l(m);", set(),
+     {"naked-mutex"}),
+    ("sq_mutex_ok", "sq::Mutex mu; sq::MutexLock lock(mu);", set(), set()),
+    ("mutex_allowed",
+     "std::mutex mu;  // lint-allow(naked-mutex): wrapper internals",
+     set(), set()),
+    ("mutex_allowed_above",
+     "// lint-allow(naked-mutex): wrapper internals\nstd::mutex mu;",
+     set(), set()),
+    ("unordered_iter",
+     "std::unordered_map<int, int> table;\n"
+     "void f() { for (const auto& [k, v] : table) use(k); }",
+     None, {"unordered-iter"}),
+    ("unordered_iter_member",
+     "for (auto& e : entries_) use(e);", {"entries_"},
+     {"unordered-iter"}),
+    ("unordered_iter_allowed",
+     "// lint-allow(unordered-iter): sorted below\n"
+     "for (auto& e : entries_) use(e);", {"entries_"}, set()),
+    ("ordered_map_ok",
+     "std::map<int, int> table;\n"
+     "void f() { for (const auto& [k, v] : table) use(k); }",
+     None, set()),
+    ("vector_ok", "for (auto& v : values) use(v);", {"entries_"}, set()),
+    ("init_for_ok", "for (int i = 0; i < n; ++i) use(i);", {"entries_"},
+     set()),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, source, names, expected in SELF_TEST_CASES:
+        if names is None:
+            names = harvest_unordered_names(
+                strip_comments_and_strings(source))
+        got = {rule for rule, _, _ in
+               check_file("src/test.cpp", source, names)}
+        if got != expected:
+            print(f"self-test FAIL {name}: expected {sorted(expected)}, "
+                  f"got {sorted(got)}", file=sys.stderr)
+            failures += 1
+    # The exemption path must hold for the wrapper header itself.
+    got = {rule for rule, _, _ in
+           check_file("src/common/mutex.h", "std::mutex mu_;", set())}
+    if got:
+        print(f"self-test FAIL mutex_h_exempt: got {sorted(got)}",
+              file=sys.stderr)
+        failures += 1
+    if failures:
+        print(f"determinism_lint self-test: {failures} failure(s)",
+              file=sys.stderr)
+        return 2
+    print(f"determinism_lint self-test: {len(SELF_TEST_CASES) + 1} cases ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule tests and exit")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories relative to --root "
+                        "(default: src)")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_lint(pathlib.Path(args.root).resolve(),
+                    args.paths or ["src"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

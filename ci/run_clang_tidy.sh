@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# first-party translation unit in a compile_commands.json build tree.
+#
+# Usage: ci/run_clang_tidy.sh [BUILD_DIR] [JOBS]
+#   BUILD_DIR  cmake build directory configured with
+#              -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (default: build)
+#   JOBS       parallel clang-tidy processes (default: nproc)
+#
+# Scope: src/, cli/, bench/ sources from the compilation database (tests
+# and third-party code excluded; headers are covered transitively via
+# HeaderFilterRegex). Exit 1 if any file produces a diagnostic --
+# WarningsAsErrors in .clang-tidy decides which findings are fatal.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+JOBS="${2:-$(nproc)}"
+cd "$(dirname "$0")/.."
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "Configure with: cmake -B ${BUILD_DIR} -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null; then
+  echo "error: ${TIDY} not found (set CLANG_TIDY=/path/to/clang-tidy)" >&2
+  exit 2
+fi
+"${TIDY}" --version
+
+# First-party sources present in the compilation database.
+mapfile -t FILES < <(
+  python3 - "${BUILD_DIR}/compile_commands.json" <<'EOF'
+import json, pathlib, sys
+root = pathlib.Path.cwd()
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    path = pathlib.Path(entry["file"])
+    if not path.is_absolute():
+        path = pathlib.Path(entry["directory"]) / path
+    path = path.resolve()
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        continue
+    if rel.parts and rel.parts[0] in ("src", "cli", "bench"):
+        seen.add(str(rel))
+print("\n".join(sorted(seen)))
+EOF
+)
+
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+  echo "error: no first-party sources in the compilation database" >&2
+  exit 2
+fi
+echo "clang-tidy over ${#FILES[@]} translation units (${JOBS} jobs)"
+
+# xargs fan-out; --quiet keeps the output to actual diagnostics. A
+# non-zero exit from any unit fails the whole run.
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet
+
+echo "clang-tidy: clean"

@@ -38,19 +38,18 @@
 //   sqvae_serve --checkpoint=run.ckpt --input_dim=64 --port=7071
 //       --cache_mb=64 --max_conns=5000 --shed_queue
 //   echo '{"op": "stats"}' | sqvae_serve --checkpoint=run.ckpt
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <future>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/mutex.h"
 #include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
@@ -110,8 +109,8 @@ struct Slot {
 /// the reader is blocked on the next input line.
 void serve_stream(serve::InferenceService& service, serve::ServerStats& stats,
                   std::istream& in, std::ostream& out) {
-  std::mutex mu;
-  std::condition_variable cv;
+  sq::Mutex mu;
+  sq::CondVar cv;
   std::deque<Slot> slots;
   bool done = false;
 
@@ -119,8 +118,8 @@ void serve_stream(serve::InferenceService& service, serve::ServerStats& stats,
     while (true) {
       Slot slot;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return done || !slots.empty(); });
+        sq::MutexLock lock(mu);
+        while (!done && slots.empty()) cv.wait(mu);
         if (slots.empty()) return;
         slot = std::move(slots.front());
         slots.pop_front();
@@ -164,13 +163,13 @@ void serve_stream(serve::InferenceService& service, serve::ServerStats& stats,
       slot.request = std::move(request);
     }
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sq::MutexLock lock(mu);
       slots.push_back(std::move(slot));
     }
     cv.notify_one();
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    sq::MutexLock lock(mu);
     done = true;
   }
   cv.notify_one();
@@ -354,7 +353,8 @@ int main(int argc, char** argv) {
                "sqvae_serve: %llu request(s) in %llu batch(es), "
                "%d worker(s), max_batch %zu, %llu cache hit(s), "
                "%llu shed\n",
-               static_cast<unsigned long long>(service.queue().total_requests()),
+               static_cast<unsigned long long>(
+                   service.queue().total_requests()),
                static_cast<unsigned long long>(service.queue().total_batches()),
                service.num_workers(), config.max_batch,
                static_cast<unsigned long long>(

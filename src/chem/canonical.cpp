@@ -149,7 +149,8 @@ void complete_ranking(const Molecule& mol, std::vector<int> current,
   // Smallest class id with more than one member.
   std::vector<int> class_count(static_cast<std::size_t>(distinct), 0);
   for (int i = 0; i < n; ++i) {
-    ++class_count[static_cast<std::size_t>(current[static_cast<std::size_t>(i)])];
+    ++class_count[static_cast<std::size_t>(
+        current[static_cast<std::size_t>(i)])];
   }
   int tied_class = -1;
   for (int c = 0; c < distinct; ++c) {

@@ -129,7 +129,7 @@ int structural_alert_count(const Molecule& mol) {
                           eb == Element::kS;
     if (hetero_a && hetero_b) {
       if (ea == Element::kO && eb == Element::kO) ++alerts;          // peroxide
-      if (ea == Element::kS && eb == Element::kS) ++alerts;          // disulfide
+      if (ea == Element::kS && eb == Element::kS) ++alerts;  // disulfide
       if (ea == Element::kN && eb == Element::kN &&
           b.type == BondType::kDouble) {
         ++alerts;  // azo

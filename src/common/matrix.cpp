@@ -112,8 +112,9 @@ double Matrix::mse(const Matrix& other) const {
 
 std::vector<double> Matrix::row(std::size_t r) const {
   assert(r < rows_);
-  return std::vector<double>(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
-                             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+  return std::vector<double>(
+      data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+      data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
 }
 
 std::string Matrix::to_string(int precision) const {

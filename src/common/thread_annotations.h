@@ -1,0 +1,101 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to clang's capability attributes when the compiler supports
+// them (clang with -Wthread-safety; the CI thread-safety lane builds the
+// whole tree with -Wthread-safety -Werror) and to nothing everywhere else,
+// so gcc builds are byte-identical with or without annotations.
+//
+// Conventions for new code (see README.md "Static analysis & correctness
+// tooling"):
+//
+//   * Never declare a naked std::mutex / std::condition_variable in src/ —
+//     use sq::Mutex / sq::MutexLock / sq::CondVar from common/mutex.h (the
+//     determinism lint enforces this).
+//   * Every field a lock protects gets GUARDED_BY(mu_). Every private
+//     helper that assumes the lock is held gets REQUIRES(mu_). Public
+//     entry points that take the lock themselves get EXCLUDES(mu_).
+//   * Condition waits are written as explicit `while (!pred) cv_.wait(mu_)`
+//     loops, not predicate lambdas: the analysis cannot see that a lambda
+//     body runs under the lock, and the loop form needs no assertion
+//     escape hatches.
+//
+// The macro set and the wrapper-class patterns in common/mutex.h follow
+// the upstream clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); keeping the
+// canonical names makes the annotations readable to anyone who knows the
+// analysis from other codebases. This header is the single place in the
+// repo where analysis attributes are defined — annotated code never
+// mentions __attribute__((...)) directly, so there is exactly one
+// off-switch for non-clang compilers.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SQVAE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SQVAE_THREAD_ANNOTATION
+#define SQVAE_THREAD_ANNOTATION(x)  // no-op: gcc, MSVC, old clang
+#endif
+
+/// Declares a class to be a capability ("mutex" for lockable types). The
+/// analysis tracks which capabilities are held at every program point.
+#define CAPABILITY(x) SQVAE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (sq::MutexLock).
+#define SCOPED_CAPABILITY SQVAE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define GUARDED_BY(x) SQVAE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x`
+/// (the pointer itself may be read freely).
+#define PT_GUARDED_BY(x) SQVAE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the caller must hold the capability; the
+/// function neither acquires nor releases it.
+#define REQUIRES(...) \
+  SQVAE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  SQVAE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  SQVAE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held.
+#define RELEASE(...) \
+  SQVAE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  SQVAE_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function precondition: the caller must NOT hold the capability (the
+/// function acquires it itself; calling with it held would deadlock).
+#define EXCLUDES(...) SQVAE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability is held without acquiring it — the
+/// escape hatch for contexts it cannot see into (e.g. a callback invoked
+/// under a lock). Prefer restructuring over asserting.
+#define ASSERT_CAPABILITY(x) SQVAE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Documents that a function returns a reference to the capability
+/// guarding its result.
+#define RETURN_CAPABILITY(x) SQVAE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) \
+  SQVAE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SQVAE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Opts one function out of the analysis entirely. Must not appear
+/// outside common/mutex.h (the CI lane's zero-suppression rule); it
+/// exists for the wrapper internals, where the analysis cannot model the
+/// underlying std primitives.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SQVAE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -35,7 +35,8 @@ void render(int cls, sqvae::Rng& rng, std::vector<double>& out) {
     for (int x = 0; x < kSize; ++x) {
       const double u = static_cast<double>(x) / kSize;
       const double v = static_cast<double>(y) / kSize;
-      double value = base + 0.12 * std::cos(2.0 * std::numbers::pi * ax * u + px) +
+      double value = base +
+                     0.12 * std::cos(2.0 * std::numbers::pi * ax * u + px) +
                      0.12 * std::cos(2.0 * std::numbers::pi * ay * v + py);
 
       const double dx = x - cx;

@@ -32,10 +32,10 @@ TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
   std::vector<std::size_t> perm = rng.permutation(n);
   const std::size_t test_count =
       static_cast<std::size_t>(static_cast<double>(n) * test_fraction);
-  std::vector<std::size_t> test_idx(perm.begin(),
-                                    perm.begin() + static_cast<std::ptrdiff_t>(test_count));
-  std::vector<std::size_t> train_idx(perm.begin() + static_cast<std::ptrdiff_t>(test_count),
-                                     perm.end());
+  std::vector<std::size_t> test_idx(
+      perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(test_count));
+  std::vector<std::size_t> train_idx(
+      perm.begin() + static_cast<std::ptrdiff_t>(test_count), perm.end());
   return TrainTestSplit{Dataset{dataset.gather(train_idx)},
                         Dataset{dataset.gather(test_idx)}};
 }

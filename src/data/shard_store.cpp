@@ -137,7 +137,9 @@ bool ShardWriter::finish(std::string* error) {
   buffer_.clear();
 
   std::stable_sort(index_.begin(), index_.end(),
-                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+                   [](const Entry& a, const Entry& b) {
+                     return a.key < b.key;
+                   });
   for (std::size_t i = 1; i < index_.size(); ++i) {
     if (!(index_[i - 1].key < index_[i].key)) {
       // Only reachable through the dedup = false fast path with a caller
@@ -191,7 +193,9 @@ bool ShardWriter::finish(std::string* error) {
 // ShardReader
 // ---------------------------------------------------------------------------
 
-ShardReader::ShardReader(ShardReader&& other) noexcept { *this = std::move(other); }
+ShardReader::ShardReader(ShardReader&& other) noexcept {
+  *this = std::move(other);
+}
 
 ShardReader& ShardReader::operator=(ShardReader&& other) noexcept {
   if (this != &other) {
@@ -281,7 +285,9 @@ std::optional<ShardReader> ShardReader::open(const std::string& path,
   if (data_size > file_size - kHeaderSize) {
     return reject("truncated data block");
   }
-  if (index_offset != kHeaderSize + data_size) return reject("bad index offset");
+  if (index_offset != kHeaderSize + data_size) {
+    return reject("bad index offset");
+  }
   if (count > (file_size - index_offset) / kIndexEntrySize ||
       index_size != count * kIndexEntrySize) {
     return reject("bad index size");

@@ -32,7 +32,8 @@ QuantumLayerConfig patch_encoder_config(const ScalableQuantumConfig& c,
   q.entangling_layers = c.entangling_layers;
   q.input = QuantumLayerConfig::InputMode::kAmplitude;
   q.output = QuantumLayerConfig::OutputMode::kExpectationZ;
-  q.input_dim = static_cast<int>(c.input_dim / static_cast<std::size_t>(c.patches));
+  q.input_dim =
+      static_cast<int>(c.input_dim / static_cast<std::size_t>(c.patches));
   q.sim = patch_sim(c.sim, 2 * static_cast<std::uint64_t>(patch));
   return q;
 }
@@ -86,9 +87,11 @@ ScalableQuantumAutoencoder::ScalableQuantumAutoencoder(
   }
   if (config.generative) {
     mu_head_ =
-        std::make_unique<nn::Linear>(config.latent_dim(), config.latent_dim(), rng);
+        std::make_unique<nn::Linear>(config.latent_dim(), config.latent_dim(),
+                                     rng);
     logvar_head_ =
-        std::make_unique<nn::Linear>(config.latent_dim(), config.latent_dim(), rng);
+        std::make_unique<nn::Linear>(config.latent_dim(), config.latent_dim(),
+                                     rng);
   }
 }
 

@@ -79,6 +79,32 @@ struct EpochSums {
   std::size_t samples = 0;
 };
 
+/// The sharded engine's cross-thread state, made explicit so the lock
+/// discipline (or deliberate absence of one) is auditable in one place.
+///
+/// This is the *only* state OpenMP worker threads share during a
+/// data-parallel batch, and it is intentionally lock-free: sample s
+/// writes exclusively into slot(s) — its private gradient vector and
+/// LossStats — so writes are disjoint by construction and the fixed-order
+/// reduction below reads them only after the parallel region's implicit
+/// barrier. No GUARDED_BY applies because no mutex exists; adding one
+/// would serialise the engine and change nothing about the result, which
+/// is bit-identical for every thread count already (the determinism
+/// contract pinned by tests/trainer_parallel_test.cpp).
+struct ShardedEpochState {
+  ShardedEpochState(std::size_t batch_size, std::size_t num_params)
+      : sample_grads(batch_size, std::vector<Matrix>(num_params)),
+        sample_stats(batch_size) {}
+
+  /// Thread-private gradient slot of sample `s`; no other sample's thread
+  /// may touch it.
+  std::vector<Matrix>& grads(std::size_t s) { return sample_grads[s]; }
+  LossStats* stats(std::size_t s) { return &sample_stats[s]; }
+
+  std::vector<std::vector<Matrix>> sample_grads;
+  std::vector<LossStats> sample_stats;
+};
+
 }  // namespace
 
 Trainer::Trainer(Autoencoder& model, const TrainConfig& config)
@@ -198,9 +224,7 @@ std::vector<EpochStats> Trainer::fit(const data::RowSource& train,
 
       if (config_.data_parallel) {
         // ---- sharded engine: one tape + private gradients per sample ----
-        std::vector<std::vector<Matrix>> sample_grads(
-            batch_size, std::vector<Matrix>(params.size()));
-        std::vector<LossStats> sample_stats(batch_size);
+        ShardedEpochState shared(batch_size, params.size());
         const std::int64_t n = static_cast<std::int64_t>(batch_size);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) num_threads(threads)
@@ -217,11 +241,11 @@ std::vector<EpochStats> Trainer::fit(const data::RowSource& train,
               static_cast<std::uint64_t>(row));
           ad::Tape tape;
           IndexedGradSink sink(param_index,
-                               sample_grads[static_cast<std::size_t>(s)]);
+                               shared.grads(static_cast<std::size_t>(s)));
           tape.set_grad_sink(&sink);
           ad::Var loss =
               model_.build_loss(tape, sample, sample_rng,
-                                &sample_stats[static_cast<std::size_t>(s)]);
+                                shared.stats(static_cast<std::size_t>(s)));
           tape.backward(loss);
         }
 
@@ -231,8 +255,8 @@ std::vector<EpochStats> Trainer::fit(const data::RowSource& train,
         optimizer.zero_grad();
         for (std::size_t s = 0; s < batch_size; ++s) {
           for (std::size_t k = 0; k < params.size(); ++k) {
-            if (!sample_grads[s][k].empty()) {
-              params[k]->grad += sample_grads[s][k];
+            if (!shared.sample_grads[s][k].empty()) {
+              params[k]->grad += shared.sample_grads[s][k];
             }
           }
         }
@@ -243,7 +267,7 @@ std::vector<EpochStats> Trainer::fit(const data::RowSource& train,
         }
         optimizer.step();
 
-        for (const LossStats& s : sample_stats) {
+        for (const LossStats& s : shared.sample_stats) {
           sums.loss += s.total;
           sums.mse += s.reconstruction_mse;
           sums.kl += s.kl;

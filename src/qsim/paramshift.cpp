@@ -40,8 +40,10 @@ std::vector<double> parameter_shift_gradient(const Circuit& circuit,
       static_cast<std::size_t>(circuit.num_param_slots()), 0.0);
 
   constexpr double kHalfPi = std::numbers::pi / 2.0;
-  const double c_plus = (std::numbers::sqrt2 + 1.0) / (4.0 * std::numbers::sqrt2);
-  const double c_minus = (std::numbers::sqrt2 - 1.0) / (4.0 * std::numbers::sqrt2);
+  const double c_plus =
+      (std::numbers::sqrt2 + 1.0) / (4.0 * std::numbers::sqrt2);
+  const double c_minus =
+      (std::numbers::sqrt2 - 1.0) / (4.0 * std::numbers::sqrt2);
 
   const auto& ops = circuit.ops();
   for (std::size_t k = 0; k < ops.size(); ++k) {

@@ -64,7 +64,7 @@ std::future<InferenceResult> BatchQueue::push(
   };
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sq::MutexLock lock(mu_);
     if (max_depth_ > 0) {
       // High-priority requests may dip into a reserve beyond max_depth
       // (max_depth/4 extra, at least 1) so a backlog of expensive
@@ -88,9 +88,7 @@ std::future<InferenceResult> BatchQueue::push(
       } else {
         // Backpressure: block the producer until a worker makes room (or
         // the queue closes). pop_batch notifies after removing requests.
-        cv_.wait(lock, [this, limit] {
-          return closed_ || depth_locked() < limit;
-        });
+        while (!closed_ && depth_locked() >= limit) cv_.wait(mu_);
       }
     }
     if (closed_) {
@@ -111,8 +109,10 @@ std::future<InferenceResult> BatchQueue::push(
 }
 
 void BatchQueue::collect_matching(std::vector<Request>& batch) {
-  // Copied, not referenced: push_back below may reallocate `batch`.
-  const std::string model = batch.front().model;
+  // pop_batch reserved max_batch_ slots up front, so push_back below never
+  // reallocates and the key can be read through a stable reference instead
+  // of a per-batch heap copy of the model name.
+  const std::string& model = batch.front().model;
   const Endpoint endpoint = batch.front().endpoint;
   for (std::deque<Request>* lane : {&high_, &normal_}) {
     for (auto it = lane->begin();
@@ -128,10 +128,11 @@ void BatchQueue::collect_matching(std::vector<Request>& batch) {
 }
 
 std::vector<Request> BatchQueue::pop_batch() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || depth_locked() > 0; });
+  sq::MutexLock lock(mu_);
+  while (!closed_ && depth_locked() == 0) cv_.wait(mu_);
   std::vector<Request> batch;
   if (depth_locked() == 0) return batch;  // closed and drained
+  batch.reserve(max_batch_);  // stable references for collect_matching
 
   // Seed the batch from the high lane when it has work; coalescing below
   // still spans both lanes, so priority never reduces batching.
@@ -149,7 +150,7 @@ std::vector<Request> BatchQueue::pop_batch() {
     const auto deadline =
         batch.front().enqueued + std::chrono::microseconds(max_wait_us_);
     while (batch.size() < max_batch_ && !closed_) {
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
         collect_matching(batch);
         break;
       }
@@ -166,29 +167,29 @@ std::vector<Request> BatchQueue::pop_batch() {
 
 void BatchQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sq::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t BatchQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   return depth_locked();
 }
 
 std::uint64_t BatchQueue::total_requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   return total_requests_;
 }
 
 std::uint64_t BatchQueue::total_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   return total_batches_;
 }
 
 std::uint64_t BatchQueue::total_shed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   return total_shed_;
 }
 

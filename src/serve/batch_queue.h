@@ -47,15 +47,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/stats.h"
 
 namespace sqvae::serve {
@@ -121,32 +120,35 @@ class BatchQueue {
   std::future<InferenceResult> push(
       std::string model, Endpoint endpoint, std::vector<double> input,
       std::uint64_t seed, Priority priority = Priority::kNormal,
-      std::function<void(const InferenceResult&)> on_done = nullptr);
+      std::function<void(const InferenceResult&)> on_done = nullptr)
+      EXCLUDES(mu_);
 
   /// Blocks until at least one request is available (or the queue closes),
   /// then coalesces up to max_batch same-key requests as described above.
   /// An empty result means closed-and-drained: workers should exit.
-  std::vector<Request> pop_batch();
+  std::vector<Request> pop_batch() EXCLUDES(mu_);
 
   /// Wakes all waiters; subsequent pushes fail the returned future.
   /// Already-queued requests still drain through pop_batch.
-  void close();
+  void close() EXCLUDES(mu_);
 
-  std::size_t depth() const;
+  std::size_t depth() const EXCLUDES(mu_);
 
   // Coalescing statistics (monotonic; for tests and the CLI's shutdown
   // report).
-  std::uint64_t total_requests() const;
-  std::uint64_t total_batches() const;
-  std::uint64_t total_shed() const;
+  std::uint64_t total_requests() const EXCLUDES(mu_);
+  std::uint64_t total_batches() const EXCLUDES(mu_);
+  std::uint64_t total_shed() const EXCLUDES(mu_);
 
  private:
   /// Moves every queued request matching (model, endpoint) of `batch[0]`
   /// into `batch` — high lane first, then normal — up to max_batch_.
-  /// Caller holds mu_.
-  void collect_matching(std::vector<Request>& batch);
-  /// Queued request count across both lanes. Caller holds mu_.
-  std::size_t depth_locked() const {
+  /// `batch` must have capacity for max_batch_ elements already (the
+  /// matching key is read through a reference into it, which a
+  /// reallocation would invalidate).
+  void collect_matching(std::vector<Request>& batch) REQUIRES(mu_);
+  /// Queued request count across both lanes.
+  std::size_t depth_locked() const REQUIRES(mu_) {
     return high_.size() + normal_.size();
   }
 
@@ -156,14 +158,14 @@ class BatchQueue {
   const bool shed_on_full_;
   ServerStats* const stats_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> high_;
-  std::deque<Request> normal_;
-  bool closed_ = false;
-  std::uint64_t total_requests_ = 0;
-  std::uint64_t total_batches_ = 0;
-  std::uint64_t total_shed_ = 0;
+  mutable sq::Mutex mu_;
+  sq::CondVar cv_;
+  std::deque<Request> high_ GUARDED_BY(mu_);
+  std::deque<Request> normal_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  std::uint64_t total_requests_ GUARDED_BY(mu_) = 0;
+  std::uint64_t total_batches_ GUARDED_BY(mu_) = 0;
+  std::uint64_t total_shed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sqvae::serve

@@ -17,11 +17,11 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/protocol.h"
 
 namespace sqvae::serve {
@@ -95,8 +95,11 @@ struct EventLoopServer::Impl {
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
   std::uint64_t next_token = kFirstConnToken;
 
-  std::mutex completions_mu;
-  std::vector<Completion> completions;
+  /// The only cross-thread state of the loop: worker completion callbacks
+  /// push here; the loop thread swaps the vector out under the lock in
+  /// drain_completions. Everything else in Impl is loop-thread-only.
+  sq::Mutex completions_mu;
+  std::vector<Completion> completions GUARDED_BY(completions_mu);
 
   bool draining = false;
   Clock::time_point drain_deadline{};
@@ -106,6 +109,7 @@ struct EventLoopServer::Impl {
       : service(s), config(c), stats(st) {}
 
   ~Impl() {
+    // lint-allow(unordered-iter): fd close order is immaterial
     for (auto& [token, conn] : conns) {
       if (conn->fd >= 0) ::close(conn->fd);
     }
@@ -331,24 +335,34 @@ struct EventLoopServer::Impl {
     // cache hit): it renders the response — the wire request's op/id
     // survive in the capture — posts it, and kicks the wake eventfd. It
     // must not touch `conn`: the connection may be gone by then.
+    //
+    // The submit arguments are copied out *before* the callback is built:
+    // the callback takes the WireRequest by move (its op/model/id strings
+    // would otherwise be heap-copied per request), and evaluation order
+    // between a `std::move(request)` capture and sibling arguments
+    // reading `request.model` is unspecified.
     const std::uint64_t token = conn->token;
+    const std::string model = request.model;
+    const Endpoint endpoint = request.endpoint;
+    const std::uint64_t seed = request.seed;
     std::vector<double> payload = std::move(request.x);
     request.x.clear();
     Impl* impl = this;
-    service.submit_cb(
-        request.model, request.endpoint, std::move(payload), request.seed,
-        [impl, token, seq, request](const InferenceResult& result) {
-          Completion completion;
-          completion.token = token;
-          completion.seq = seq;
-          completion.line = format_response(request, result);
-          {
-            std::lock_guard<std::mutex> lock(impl->completions_mu);
-            impl->completions.push_back(std::move(completion));
-          }
-          const std::uint64_t one = 1;
-          (void)!::write(impl->wake_fd, &one, sizeof(one));
-        });
+    auto on_done = [impl, token, seq, request = std::move(request)](
+                       const InferenceResult& result) {
+      Completion completion;
+      completion.token = token;
+      completion.seq = seq;
+      completion.line = format_response(request, result);
+      {
+        sq::MutexLock lock(impl->completions_mu);
+        impl->completions.push_back(std::move(completion));
+      }
+      const std::uint64_t one = 1;
+      (void)!::write(impl->wake_fd, &one, sizeof(one));
+    };
+    service.submit_cb(model, endpoint, std::move(payload), seed,
+                      std::move(on_done));
   }
 
   /// Un-pauses a connection whose output backlog drained: parses frames
@@ -440,7 +454,7 @@ struct EventLoopServer::Impl {
     (void)!::read(wake_fd, &counter, sizeof(counter));
     std::vector<Completion> batch;
     {
-      std::lock_guard<std::mutex> lock(completions_mu);
+      sq::MutexLock lock(completions_mu);
       batch.swap(completions);
     }
     for (Completion& completion : batch) {
@@ -471,6 +485,7 @@ struct EventLoopServer::Impl {
     // close immediately. Collect tokens first: flush() may erase conns.
     std::vector<std::uint64_t> tokens;
     tokens.reserve(conns.size());
+    // lint-allow(unordered-iter): per-connection flag set, no output order
     for (auto& [token, conn] : conns) {
       conn->input_closed = true;
       tokens.push_back(token);
@@ -488,6 +503,7 @@ struct EventLoopServer::Impl {
     last_idle_sweep = now;
     const auto timeout = std::chrono::milliseconds(config.idle_timeout_ms);
     std::vector<std::uint64_t> victims;
+    // lint-allow(unordered-iter): teardown order of idle peers is immaterial
     for (const auto& [token, conn] : conns) {
       // Pending work counts as activity: a connection waiting on its
       // response is not idle.

@@ -6,29 +6,30 @@ namespace sqvae::serve {
 
 std::uint64_t ModelRegistry::publish(const std::string& name,
                                      std::shared_ptr<const LoadedModel> model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   const std::uint64_t generation = next_generation_++;
   entries_[name] = ModelEntry{std::move(model), generation};
   return generation;
 }
 
 ModelEntry ModelRegistry::get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return ModelEntry{};
   return it->second;
 }
 
 std::uint64_t ModelRegistry::generation(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second.generation;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sq::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
+  // lint-allow(unordered-iter): sorted immediately below
   for (const auto& [name, entry] : entries_) out.push_back(name);
   std::sort(out.begin(), out.end());
   return out;

@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/loaded_model.h"
 
 namespace sqvae::serve {
@@ -33,22 +33,23 @@ class ModelRegistry {
   /// Installs (or replaces) the snapshot under `name`; returns its
   /// generation stamp. Thread-safe against concurrent get()/publish().
   std::uint64_t publish(const std::string& name,
-                        std::shared_ptr<const LoadedModel> model);
+                        std::shared_ptr<const LoadedModel> model)
+      EXCLUDES(mu_);
 
   /// Current snapshot for `name`, or an entry with a null model (and
   /// generation 0) when the name is unknown.
-  ModelEntry get(const std::string& name) const;
+  ModelEntry get(const std::string& name) const EXCLUDES(mu_);
 
   /// Generation stamp of `name` (0 when unknown) — the cheap staleness
   /// probe workers use before touching the snapshot itself.
-  std::uint64_t generation(const std::string& name) const;
+  std::uint64_t generation(const std::string& name) const EXCLUDES(mu_);
 
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ModelEntry> entries_;
-  std::uint64_t next_generation_ = 1;
+  mutable sq::Mutex mu_;
+  std::unordered_map<std::string, ModelEntry> entries_ GUARDED_BY(mu_);
+  std::uint64_t next_generation_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace sqvae::serve

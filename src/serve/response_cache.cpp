@@ -45,7 +45,7 @@ ResponseCache::Lookup ResponseCache::lookup_or_join(const CacheKey& key,
                                                     InferenceResult* out,
                                                     Waiter waiter) {
   Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sq::MutexLock lock(shard.mu);
 
   const auto hit = shard.map.find(key);
   if (hit != shard.map.end()) {
@@ -84,7 +84,7 @@ void ResponseCache::publish(const CacheKey& key,
   std::vector<Waiter> waiters;
   {
     Shard& shard = shard_of(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sq::MutexLock lock(shard.mu);
     waiters = take_waiters(shard, key);
 
     const std::size_t bytes = entry_bytes(result);
@@ -127,7 +127,7 @@ void ResponseCache::fail(const CacheKey& key, const std::string& error) {
   std::vector<Waiter> waiters;
   {
     Shard& shard = shard_of(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sq::MutexLock lock(shard.mu);
     waiters = take_waiters(shard, key);
   }
   InferenceResult result;
@@ -141,7 +141,7 @@ void ResponseCache::fail(const CacheKey& key, const std::string& error) {
 std::size_t ResponseCache::entries() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sq::MutexLock lock(shard.mu);
     n += shard.map.size();
   }
   return n;
@@ -150,7 +150,7 @@ std::size_t ResponseCache::entries() const {
 std::size_t ResponseCache::bytes() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sq::MutexLock lock(shard.mu);
     n += shard.bytes;
   }
   return n;

@@ -38,12 +38,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "chem/mol_hash.h"
+#include "common/mutex.h"
 #include "serve/batch_queue.h"
 #include "serve/stats.h"
 
@@ -107,11 +107,13 @@ class ResponseCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<CacheKey, Entry, chem::MolHashHasher> map;
-    std::unordered_map<CacheKey, InFlight, chem::MolHashHasher> inflight;
-    std::list<CacheKey> lru;  // front = most recently used
-    std::size_t bytes = 0;
+    mutable sq::Mutex mu;
+    std::unordered_map<CacheKey, Entry, chem::MolHashHasher> map
+        GUARDED_BY(mu);
+    std::unordered_map<CacheKey, InFlight, chem::MolHashHasher> inflight
+        GUARDED_BY(mu);
+    std::list<CacheKey> lru GUARDED_BY(mu);  // front = most recently used
+    std::size_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_of(const CacheKey& key) {
@@ -119,8 +121,9 @@ class ResponseCache {
   }
 
   /// Resolves and clears the in-flight entry; returns the waiters to run
-  /// (outside the shard lock). Caller holds shard.mu.
-  std::vector<Waiter> take_waiters(Shard& shard, const CacheKey& key);
+  /// (outside the shard lock).
+  std::vector<Waiter> take_waiters(Shard& shard, const CacheKey& key)
+      REQUIRES(shard.mu);
 
   const std::size_t shard_budget_;
   ServerStats* stats_;

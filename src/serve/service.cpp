@@ -193,7 +193,8 @@ InferenceResult execute_single(const LoadedModel& loaded,
       out = replica.reconstruct(row, noise);
       break;
     case Endpoint::kLatentSample: {
-      const std::vector<double> z = latent_sample_row(loaded.latent_dim(), seed);
+      const std::vector<double> z =
+          latent_sample_row(loaded.latent_dim(), seed);
       Matrix zrow(1, z.size());
       for (std::size_t c = 0; c < z.size(); ++c) zrow(0, c) = z[c];
       out = replica.decode_values(zrow);
@@ -242,6 +243,11 @@ InferenceService::InferenceService(ModelRegistry& registry,
 InferenceService::~InferenceService() { shutdown(); }
 
 void InferenceService::shutdown() {
+  // Check-and-set and the joins all happen under the lock: without it two
+  // concurrent shutdowns could both see shut_down_ == false and both join
+  // the same thread (undefined behaviour). The second caller now blocks
+  // until the first finishes draining, then returns.
+  sq::MutexLock lock(shutdown_mu_);
   if (shut_down_) return;
   shut_down_ = true;
   queue_.close();

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/batch_queue.h"
 #include "serve/loaded_model.h"
 #include "serve/registry.h"
@@ -129,9 +130,10 @@ class InferenceService {
   InferenceResult latent_sample(std::uint64_t seed,
                                 const std::string& model = "default");
 
-  /// Drains workers and rejects further submissions. Idempotent; also run
-  /// by the destructor.
-  void shutdown();
+  /// Drains workers and rejects further submissions. Idempotent and safe
+  /// against concurrent callers; also run by the destructor. Must not be
+  /// called from a worker thread (it joins them).
+  void shutdown() EXCLUDES(shutdown_mu_);
 
   const ServeConfig& config() const { return config_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -161,7 +163,11 @@ class InferenceService {
   std::unique_ptr<ResponseCache> cache_;
   BatchQueue queue_;
   std::vector<std::thread> workers_;
-  bool shut_down_ = false;
+  /// Serialises shutdown(): two concurrent callers must not both observe
+  /// shut_down_ == false and race to join the same threads. Workers never
+  /// call shutdown, so joining under the lock cannot deadlock.
+  sq::Mutex shutdown_mu_;
+  bool shut_down_ GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace sqvae::serve

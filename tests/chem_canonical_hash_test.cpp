@@ -88,7 +88,9 @@ TEST(CanonicalInvariance, ReversedAndRotatedBenzene) {
   ASSERT_TRUE(reference.has_value());
   for (int rot = 0; rot < 6; ++rot) {
     std::vector<int> perm(6);
-    for (int i = 0; i < 6; ++i) perm[static_cast<std::size_t>(i)] = (i + rot) % 6;
+    for (int i = 0; i < 6; ++i) {
+      perm[static_cast<std::size_t>(i)] = (i + rot) % 6;
+    }
     EXPECT_EQ(to_smiles(permuted(*benzene, perm)), reference) << rot;
     std::vector<int> reversed(perm.rbegin(), perm.rend());
     EXPECT_EQ(to_smiles(permuted(*benzene, reversed)), reference)

@@ -34,7 +34,8 @@ TEST(Descriptors, EthanolDonorsAcceptors) {
   EXPECT_EQ(d.hba, 1);
   EXPECT_EQ(d.hbd, 1);
   EXPECT_NEAR(d.tpsa, 20.23, 0.01);  // hydroxyl contribution
-  EXPECT_EQ(d.rotatable_bonds, 0);   // C-O terminal on both heavy ends? C-C-O: the C-O bond has terminal O
+  // C-O terminal on both heavy ends? C-C-O: the C-O bond has terminal O.
+  EXPECT_EQ(d.rotatable_bonds, 0);
 }
 
 TEST(Descriptors, GlycineDescriptors) {

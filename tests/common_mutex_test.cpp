@@ -1,0 +1,280 @@
+// Behavioural equivalence of the annotated sq primitives (common/mutex.h)
+// with the std primitives they wrap. The annotations themselves are
+// compile-time-only and clang-only; this suite pins down that under any
+// compiler the wrappers are exactly std::mutex / std::lock_guard /
+// std::condition_variable in behaviour: mutual exclusion, try_lock
+// semantics, RAII release, early unlock / re-lock, condition waits with
+// spurious-wakeup discipline, and timed waits. Runs in the tier-1 lane
+// (and the TSan threaded lane, which verifies the wrappers introduce no
+// races of their own).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SqMutex, LockUnlockAndTryLockMatchStdSemantics) {
+  sq::Mutex mu;
+  // Unlocked: try_lock succeeds, like std::mutex.
+  ASSERT_TRUE(mu.try_lock());
+  // Held (by this thread): try_lock from another thread fails.
+  std::atomic<int> observed{-1};
+  std::thread probe([&] { observed = mu.try_lock() ? 1 : 0; });
+  probe.join();
+  EXPECT_EQ(observed.load(), 0);
+  mu.unlock();
+  // Released: another thread can take it again.
+  std::thread probe2([&] {
+    observed = mu.try_lock() ? 1 : 0;
+    if (observed == 1) mu.unlock();
+  });
+  probe2.join();
+  EXPECT_EQ(observed.load(), 1);
+}
+
+TEST(SqMutexLock, RaiiAcquiresAndReleases) {
+  sq::Mutex mu;
+  {
+    sq::MutexLock lock(mu);
+    std::atomic<bool> got{true};
+    std::thread probe([&] {
+      got = mu.try_lock();
+      if (got) mu.unlock();
+    });
+    probe.join();
+    EXPECT_FALSE(got.load()) << "MutexLock must hold the mutex in scope";
+  }
+  // Destructor released it.
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(SqMutexLock, EarlyUnlockAndRelock) {
+  sq::Mutex mu;
+  sq::MutexLock lock(mu);
+  lock.unlock();  // early release: the destructor must then do nothing
+  {
+    // Another thread can take the mutex while `lock` is disengaged.
+    std::atomic<bool> got{false};
+    std::thread probe([&] {
+      got = mu.try_lock();
+      if (got) mu.unlock();
+    });
+    probe.join();
+    EXPECT_TRUE(got.load());
+  }
+  lock.lock();  // re-acquire through the same RAII object
+  std::atomic<bool> got{true};
+  std::thread probe([&] {
+    got = mu.try_lock();
+    if (got) mu.unlock();
+  });
+  probe.join();
+  EXPECT_FALSE(got.load());
+}
+
+TEST(SqMutex, MutualExclusionUnderContention) {
+  // The classic non-atomic counter: any lost update means the wrapper is
+  // not actually locking. 8 threads x 20k increments.
+  sq::Mutex mu;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        sq::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(SqCondVar, WaitWakesOnNotifyWithPredicateLoop) {
+  sq::Mutex mu;
+  sq::CondVar cv;
+  bool ready = false;
+  int seen = 0;
+
+  std::thread waiter([&] {
+    sq::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);  // the repo's canonical wait shape
+    seen = 1;
+  });
+  // Let the waiter reach the wait (not required for correctness — the
+  // predicate protects against both orders — but exercises the sleep).
+  std::this_thread::sleep_for(10ms);
+  {
+    sq::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(SqCondVar, WaitReacquiresMutexBeforeReturning) {
+  sq::Mutex mu;
+  sq::CondVar cv;
+  bool ready = false;
+  bool checked_under_lock = false;
+
+  std::thread waiter([&] {
+    sq::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    // If wait() failed to reacquire, this try_lock would succeed
+    // (std::mutex is non-recursive, so holding it means failure here).
+    checked_under_lock = !mu.try_lock();
+    if (!checked_under_lock) mu.unlock();
+  });
+  {
+    sq::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_TRUE(checked_under_lock);
+}
+
+TEST(SqCondVar, WaitForTimesOutLikeStd) {
+  sq::Mutex mu;
+  sq::CondVar cv;
+  sq::MutexLock lock(mu);
+  const auto start = std::chrono::steady_clock::now();
+  const std::cv_status status = cv.wait_for(mu, 20ms);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(status, std::cv_status::timeout);
+  EXPECT_GE(elapsed, 15ms);  // small slack for coarse clocks
+}
+
+TEST(SqCondVar, WaitUntilReturnsNoTimeoutWhenNotified) {
+  sq::Mutex mu;
+  sq::CondVar cv;
+  bool ready = false;
+  std::cv_status last = std::cv_status::timeout;
+
+  std::thread waiter([&] {
+    sq::MutexLock lock(mu);
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (!ready) {
+      last = cv.wait_until(mu, deadline);
+      if (last == std::cv_status::timeout) break;
+    }
+  });
+  std::this_thread::sleep_for(10ms);
+  {
+    sq::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(last, std::cv_status::no_timeout);
+  EXPECT_TRUE(ready);
+}
+
+TEST(SqCondVar, NotifyAllWakesEveryWaiter) {
+  sq::Mutex mu;
+  sq::CondVar cv;
+  bool go = false;
+  int woke = 0;
+  constexpr int kWaiters = 4;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      sq::MutexLock lock(mu);
+      while (!go) cv.wait(mu);
+      ++woke;
+    });
+  }
+  std::this_thread::sleep_for(10ms);
+  {
+    sq::MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woke, kWaiters);
+}
+
+TEST(SqCondVar, ProducerConsumerQueueDrainsCompletely) {
+  // End-to-end shape of every queue in the repo (batch_queue, the CLI's
+  // writer thread): N producers, M consumers, explicit predicate loops,
+  // close() semantics. Every pushed item must come out exactly once.
+  sq::Mutex mu;
+  sq::CondVar cv;
+  std::vector<int> queue;
+  bool closed = false;
+  std::atomic<long> consumed_sum{0};
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 5000;
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      long local = 0;
+      while (true) {
+        int item;
+        {
+          sq::MutexLock lock(mu);
+          while (!closed && queue.empty()) cv.wait(mu);
+          if (queue.empty()) break;  // closed and drained
+          item = queue.back();
+          queue.pop_back();
+        }
+        local += item;
+      }
+      consumed_sum += local;
+    });
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) {
+        {
+          sq::MutexLock lock(mu);
+          queue.push_back(i);
+        }
+        cv.notify_one();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  {
+    sq::MutexLock lock(mu);
+    closed = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : consumers) t.join();
+
+  const long expected = static_cast<long>(kProducers) * kPerProducer *
+                        (kPerProducer + 1) / 2;
+  EXPECT_EQ(consumed_sum.load(), expected);
+}
+
+TEST(SqMutex, AssertHeldCompilesAsNoOp) {
+  // assert_held is an annotation-only declaration; under gcc (and at
+  // runtime everywhere) it must cost and change nothing.
+  sq::Mutex mu;
+  sq::MutexLock lock(mu);
+  mu.assert_held();
+  SUCCEED();
+}
+
+}  // namespace

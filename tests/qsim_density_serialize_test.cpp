@@ -144,7 +144,8 @@ TEST(Serialize, RejectsMalformedInput) {
   EXPECT_FALSE(circuit_from_text("qubits 0\n").has_value());
   EXPECT_FALSE(circuit_from_text("qubits 2\nFOO t=0\n").has_value());
   EXPECT_FALSE(circuit_from_text("qubits 2\nRY t=5 theta=0.1\n").has_value());
-  EXPECT_FALSE(circuit_from_text("qubits 2\nRY t=0\n").has_value());  // no theta
+  // no theta
+  EXPECT_FALSE(circuit_from_text("qubits 2\nRY t=0\n").has_value());
   EXPECT_FALSE(circuit_from_text("qubits 2\nH t=0 theta=1\n").has_value());
   EXPECT_FALSE(circuit_from_text("qubits 2\nCNOT t=0\n").has_value());
   EXPECT_FALSE(

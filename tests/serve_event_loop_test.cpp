@@ -120,7 +120,8 @@ class EventLoopTest : public ::testing::Test {
     std::string error;
     model_ = serve::build_model(spec_, &error);
     ASSERT_NE(model_, nullptr) << error;
-    registry_.publish("default", serve::LoadedModel::from_model(spec_, *model_));
+    registry_.publish("default",
+                      serve::LoadedModel::from_model(spec_, *model_));
   }
 
   /// Starts the service and the loop (ephemeral port) with the given
@@ -373,7 +374,8 @@ TEST_F(EventLoopTest, GracefulDrainFlushesInFlightResponses) {
   // then stop while it is still queued or executing: the drain contract
   // says its response is computed, flushed, and the connection closed
   // before run() returns.
-  ASSERT_TRUE(stats_eventually([&] { return stats_.requests_total.load() >= 1; }));
+  ASSERT_TRUE(
+      stats_eventually([&] { return stats_.requests_total.load() >= 1; }));
   server_->request_stop();
   const std::vector<std::string> lines = client.read_lines(1);
   ASSERT_EQ(lines.size(), 1u);

@@ -37,20 +37,25 @@ TEST(ResponseCacheKey, EveryComponentParticipates) {
       serve::response_cache_key(7, serve::Endpoint::kEncode, x, 11);
 
   // Same inputs -> same key (content addressing).
-  EXPECT_EQ(base, serve::response_cache_key(7, serve::Endpoint::kEncode, x, 11));
+  EXPECT_EQ(base,
+            serve::response_cache_key(7, serve::Endpoint::kEncode, x, 11));
 
   // Registry generation is the model-identity component: a hot swap moves
   // requests onto fresh keys, which is the cache's only invalidation.
-  EXPECT_NE(base, serve::response_cache_key(8, serve::Endpoint::kEncode, x, 11));
+  EXPECT_NE(base,
+            serve::response_cache_key(8, serve::Endpoint::kEncode, x, 11));
   // Seed participates: stochastic endpoints keyed per seed.
-  EXPECT_NE(base, serve::response_cache_key(7, serve::Endpoint::kEncode, x, 12));
+  EXPECT_NE(base,
+            serve::response_cache_key(7, serve::Endpoint::kEncode, x, 12));
   // Endpoint participates.
-  EXPECT_NE(base, serve::response_cache_key(7, serve::Endpoint::kDecode, x, 11));
+  EXPECT_NE(base,
+            serve::response_cache_key(7, serve::Endpoint::kDecode, x, 11));
 
   // Payload is hashed by bit pattern: any element change moves the key.
   std::vector<double> y = x;
   y[1] = -1.5000000001;
-  EXPECT_NE(base, serve::response_cache_key(7, serve::Endpoint::kEncode, y, 11));
+  EXPECT_NE(base,
+            serve::response_cache_key(7, serve::Endpoint::kEncode, y, 11));
 }
 
 // ---- lookup / publish protocol --------------------------------------------
@@ -87,7 +92,9 @@ TEST(ResponseCache, ErrorResultsResolveWaitersButAreNotStored) {
   std::string waiter_error;
   ASSERT_EQ(cache.lookup_or_join(
                 key, &out,
-                [&](const serve::InferenceResult& r) { waiter_error = r.error; }),
+                [&](const serve::InferenceResult& r) {
+                  waiter_error = r.error;
+                }),
             serve::ResponseCache::Lookup::kJoined);
 
   serve::InferenceResult failed;

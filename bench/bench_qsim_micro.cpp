@@ -492,9 +492,92 @@ KernelAbRow run_kernel_ab(const std::string& gate, int qubits, int reps) {
   return row;
 }
 
+// --- Scaling: amplitude-parallel vs serial on one large state. -----------
+//
+// The 20+ qubit regime the cache-blocked executor targets: a single
+// 5-layer strongly-entangling circuit on one statevector, run once with
+// the serial kernel tables (threshold pinned to SIZE_MAX) and once with
+// the amplitude-parallel table forced on (threshold 1). Both sides run the
+// identical compiled plan — including the blocked schedule's reordering —
+// so the amplitudes must agree bit for bit; `bit_identical` records that
+// check and the CI gate enforces it unconditionally. The speedup column is
+// only meaningful on multi-core hosts; the gate tiers off
+// hardware_threads and records-without-enforcing on small runners.
+
+struct ScalingRow {
+  int qubits;
+  int layers;
+  bool blocked;
+  std::size_t block_groups;
+  std::size_t exchange_steps;
+  double serial_ms;
+  double parallel_ms;
+  double speedup;
+  bool bit_identical;
+};
+
+ScalingRow run_scaling(int qubits, int layers, int reps) {
+  Rng rng(23);
+  Circuit c(qubits);
+  const int slot = c.angle_embedding(0);
+  c.strongly_entangling_layers(layers, slot);
+  const auto params = random_params(c.num_param_slots(), rng);
+  const CircuitExecutor exec(c);
+
+  ScalingRow row{};
+  row.qubits = qubits;
+  row.layers = layers;
+  row.blocked = exec.blocked();
+  row.block_groups = exec.num_block_groups();
+  row.exchange_steps = exec.num_exchange_steps();
+
+  const std::size_t saved = kernels::parallel_threshold();
+  Statevector state(qubits);
+
+  // Warm-up plus the bit-identity check: one run down each path.
+  kernels::set_parallel_threshold(SIZE_MAX);
+  state.reset();
+  exec.run(params, state);
+  const std::vector<cplx> serial_amps = state.amplitudes();
+  kernels::set_parallel_threshold(1);
+  state.reset();
+  exec.run(params, state);
+  row.bit_identical =
+      std::memcmp(serial_amps.data(), state.amplitudes().data(),
+                  serial_amps.size() * sizeof(cplx)) == 0;
+
+  // Large states are expensive on one core: shrink the repetition count as
+  // the state grows so the sweep stays bounded.
+  const int row_reps =
+      std::max(1, reps / (1 << std::max(0, qubits - 14)));
+  std::vector<double> serial_samples, parallel_samples;
+  for (int r = 0; r < row_reps; ++r) {
+    kernels::set_parallel_threshold(SIZE_MAX);
+    state.reset();
+    Stopwatch watch;
+    exec.run(params, state);
+    benchmark::DoNotOptimize(state.amplitudes().data());
+    serial_samples.push_back(watch.millis());
+
+    kernels::set_parallel_threshold(1);
+    state.reset();
+    watch.reset();
+    exec.run(params, state);
+    benchmark::DoNotOptimize(state.amplitudes().data());
+    parallel_samples.push_back(watch.millis());
+  }
+  kernels::set_parallel_threshold(saved);
+
+  row.serial_ms = median_ms(serial_samples);
+  row.parallel_ms = median_ms(parallel_samples);
+  row.speedup = row.serial_ms / row.parallel_ms;
+  return row;
+}
+
 void write_ab_json(const std::string& path, const std::vector<AbRow>& rows,
                    const std::vector<TrajAbRow>& traj_rows,
-                   const std::vector<KernelAbRow>& kernel_rows) {
+                   const std::vector<KernelAbRow>& kernel_rows,
+                   const std::vector<ScalingRow>& scaling_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -563,6 +646,35 @@ void write_ab_json(const std::string& path, const std::vector<AbRow>& rows,
   }
   std::fprintf(f,
                "    ]\n"
+               "  },\n"
+               "  \"scaling\": {\n"
+               "    \"description\": \"amplitude-parallel vs serial "
+               "execution of one 5-layer entangling circuit on a single "
+               "large statevector (cache-blocked executor)\",\n"
+               "    \"openmp\": %s,\n"
+               "    \"rows\": [\n",
+#ifdef _OPENMP
+               "true"
+#else
+               "false"
+#endif
+  );
+  for (std::size_t i = 0; i < scaling_rows.size(); ++i) {
+    const ScalingRow& r = scaling_rows[i];
+    std::fprintf(f,
+                 "      {\"qubits\": %d, \"layers\": %d, "
+                 "\"blocked\": %s, \"block_groups\": %zu, "
+                 "\"exchange_steps\": %zu, \"serial_ms\": %.4f, "
+                 "\"parallel_ms\": %.4f, \"speedup\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.qubits, r.layers, r.blocked ? "true" : "false",
+                 r.block_groups, r.exchange_steps, r.serial_ms,
+                 r.parallel_ms, r.speedup,
+                 r.bit_identical ? "true" : "false",
+                 i + 1 < scaling_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ]\n"
                "  }\n"
                "}\n");
   std::fclose(f);
@@ -612,7 +724,11 @@ int main(int argc, char** argv) {
           run_kernel_ab(gate, qubits, std::max(3, reps / 2)));
     }
   }
-  write_ab_json(json_path, rows, traj_rows, kernel_rows);
+  std::vector<ScalingRow> scaling_rows;
+  for (const int qubits : {12, 14, 16, 18, 20, 22}) {
+    scaling_rows.push_back(run_scaling(qubits, /*layers=*/5, reps));
+  }
+  write_ab_json(json_path, rows, traj_rows, kernel_rows, scaling_rows);
   std::printf("== executor batch A/B (batch=64, 5 layers) ==\n");
   for (const AbRow& r : rows) {
     std::printf(
@@ -637,6 +753,15 @@ int main(int argc, char** argv) {
         "%-10s qubits=%2d  scalar %8.3f ms  dispatched %8.3f ms  "
         "speedup %.2fx\n",
         r.gate.c_str(), r.qubits, r.scalar_ms, r.dispatched_ms, r.speedup);
+  }
+  std::printf("== scaling: amplitude-parallel vs serial (5 layers) ==\n");
+  for (const ScalingRow& r : scaling_rows) {
+    std::printf(
+        "qubits=%2d  %s groups=%zu exch=%zu  serial %9.3f ms  parallel "
+        "%9.3f ms  speedup %.2fx  bits %s\n",
+        r.qubits, r.blocked ? "blocked " : "plain   ", r.block_groups,
+        r.exchange_steps, r.serial_ms, r.parallel_ms, r.speedup,
+        r.bit_identical ? "identical" : "DIFFER");
   }
   std::printf("(json written to %s)\n", json_path.c_str());
   benchmark::Shutdown();

@@ -46,19 +46,20 @@ using backend_detail::derive_seed;
 
 /// Writes the measurement (per-qubit <Z> or basis probabilities) into a
 /// caller-owned row — the hot-loop variant, so per-trajectory measurements
-/// never allocate. Runs through the dispatched kernel layer, like the
+/// never allocate. Runs through the size-aware kernel layer, like the
 /// trajectory replay itself (every apply_* above goes through
-/// Statevector and therefore kernels::active()).
+/// Statevector and therefore kernels::table_for(): serial inside the
+/// batch-parallel loops, amplitude-parallel for large single states).
 void measure_into(const Statevector& state, bool probabilities, double* row) {
   const std::size_t dim = state.dim();
   const cplx* amps = state.amplitudes().data();
   if (probabilities) {
-    kernels::active().probabilities(amps, dim, row);
+    kernels::table_for(dim).probabilities(amps, dim, row);
     return;
   }
   const int n = state.num_qubits();
   for (int q = 0; q < n; ++q) {
-    row[q] = kernels::active().expectation_z(amps, dim, q);
+    row[q] = kernels::table_for(dim).expectation_z(amps, dim, q);
   }
 }
 
@@ -286,7 +287,12 @@ void run_trajectory_chunk(const TrajectorySample& sample,
                           std::vector<double>& rows, std::size_t row_size) {
   rows.resize(count * row_size);
   const std::int64_t n = static_cast<std::int64_t>(count);
-#pragma omp parallel
+  // Workload-shape switch (mirrors CircuitExecutor::run_batch): large
+  // statevectors hand the team to the amplitude-parallel kernels instead
+  // of the per-trajectory loop.
+  const bool amp_par =
+      kernels::use_amplitude_parallel(sample.noiseless_final().dim());
+#pragma omp parallel if (!amp_par)
   {
     LazyFuser fuser(sample.noiseless_final().num_qubits());
     Statevector scratch(sample.noiseless_final().num_qubits());
@@ -540,7 +546,11 @@ std::vector<std::vector<double>> shot_measurements(
   const std::size_t dim = std::size_t{1} << exec.num_qubits();
   std::vector<std::vector<double>> out(states.size());
   const std::int64_t batch = static_cast<std::int64_t>(states.size());
-#pragma omp parallel for schedule(static)
+  // Workload-shape switch: per-sample parallelism for small states; large
+  // states run the sample loop serially so the O(dim) CDF build inside can
+  // use the amplitude-parallel kernels.
+  const bool amp_par = kernels::use_amplitude_parallel(dim);
+#pragma omp parallel for schedule(static) if (!amp_par)
   for (std::int64_t i = 0; i < batch; ++i) {
     const std::size_t s = static_cast<std::size_t>(i);
     // One private stream per sample: shots are drawn serially within the

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <utility>
 
 namespace sqvae::qsim {
@@ -19,12 +20,36 @@ double resolve(const Param& p, const std::vector<double>& params) {
   return p.constant;
 }
 
+/// Resolves ExecutorOptions::block_qubits: explicit option, else the
+/// SQVAE_BLOCK_QUBITS environment variable, else 15 (2^15 amplitudes =
+/// 512 KiB blocks, sized for a typical L2). Clamped to [8, 24] so a typo
+/// can neither block per-cacheline nor disable blocking entirely.
+int resolve_block_qubits(int option) {
+  int bq = option;
+  if (bq < 0) {
+    bq = 15;
+    if (const char* v = std::getenv("SQVAE_BLOCK_QUBITS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end != v && parsed > 0) bq = static_cast<int>(parsed);
+    }
+  }
+  if (bq < 8) bq = 8;
+  if (bq > 24) bq = 24;
+  return bq;
+}
+
 }  // namespace
 
 CircuitExecutor::CircuitExecutor(const Circuit& circuit)
+    : CircuitExecutor(circuit, ExecutorOptions{}) {}
+
+CircuitExecutor::CircuitExecutor(const Circuit& circuit,
+                                 const ExecutorOptions& options)
     : num_qubits_(circuit.num_qubits()),
       num_param_slots_(circuit.num_param_slots()),
-      ops_(circuit.ops()) {
+      ops_(circuit.ops()),
+      block_qubits_(resolve_block_qubits(options.block_qubits)) {
   // Per-target runs of not-yet-emitted single-qubit gates. A run is flushed
   // (fused into one plan step) only when a two-qubit gate touches its wire
   // or the circuit ends; single-qubit gates on other wires commute past it.
@@ -91,6 +116,84 @@ CircuitExecutor::CircuitExecutor(const Circuit& circuit)
   for (int q = 0; q < num_qubits_; ++q) flush(q);
 
   coalesce_diagonal_runs(std::move(raw));
+  build_blocked_schedule();
+}
+
+std::uint32_t CircuitExecutor::step_qubit_mask(const Step& s) const {
+  switch (s.kind) {
+    case StepKind::kSingle:
+      return std::uint32_t{1} << s.target;
+    case StepKind::kDiagonal: {
+      std::uint32_t mask = 0;
+      for (int k = s.diag_begin; k < s.diag_end; ++k) {
+        mask |= step_qubit_mask(diag_components_[static_cast<std::size_t>(k)]);
+      }
+      return mask;
+    }
+    default:
+      return (std::uint32_t{1} << s.target) | (std::uint32_t{1} << s.control);
+  }
+}
+
+void CircuitExecutor::build_blocked_schedule() {
+  blocked_ = num_qubits_ > block_qubits_;
+  if (!blocked_) return;
+
+  // A step is block-local when its amplitude pairs never cross a cache
+  // block: every touched qubit lies below block_qubits_. kDiagonal steps
+  // are elementwise — each block reads its own slice of the phase table —
+  // so they are local whatever qubits their components reference.
+  const std::uint32_t high_mask = ~((std::uint32_t{1} << block_qubits_) - 1);
+  auto local = [&](const Step& s) {
+    return s.kind == StepKind::kDiagonal ||
+           (step_qubit_mask(s) & high_mask) == 0;
+  };
+  // Conservative commutation: disjoint qubit sets always commute; two
+  // diagonal steps commute regardless of overlap.
+  auto diagish = [&](const Step& s) {
+    return s.kind == StepKind::kDiagonal || is_diagonal_step(s);
+  };
+
+  // Greedy deterministic reorder: scan the remaining plan in order,
+  // pulling every local step that commutes with all not-yet-emitted
+  // non-members into the current group; emit the group, then the first
+  // blocked step as an exchange group; repeat on the rest. O(plan^2) at
+  // compile time, and purely a function of the plan — serial and
+  // N-thread execution share the identical step order.
+  std::vector<std::size_t> remaining(plan_.size());
+  for (std::size_t i = 0; i < plan_.size(); ++i) remaining[i] = i;
+
+  while (!remaining.empty()) {
+    BlockGroup group;
+    group.local = true;
+    std::vector<std::size_t> blockers;
+    std::uint32_t blocker_mask = 0;
+    bool blockers_all_diag = true;
+    for (std::size_t idx : remaining) {
+      const Step& s = plan_[idx];
+      const bool commutes_past =
+          blockers.empty() ||
+          (step_qubit_mask(s) & blocker_mask) == 0 ||
+          (diagish(s) && blockers_all_diag);
+      if (local(s) && commutes_past) {
+        group.steps.push_back(idx);
+      } else {
+        blockers.push_back(idx);
+        blocker_mask |= step_qubit_mask(s);
+        blockers_all_diag = blockers_all_diag && diagish(s);
+      }
+    }
+    if (!group.steps.empty()) groups_.push_back(std::move(group));
+    if (!blockers.empty()) {
+      BlockGroup exchange;
+      exchange.local = false;
+      exchange.steps.push_back(blockers.front());
+      groups_.push_back(std::move(exchange));
+      ++num_exchange_steps_;
+      blockers.erase(blockers.begin());
+    }
+    remaining = std::move(blockers);
+  }
 }
 
 bool CircuitExecutor::is_diagonal_step(const Step& s) const {
@@ -208,39 +311,79 @@ void CircuitExecutor::bind(const std::vector<double>& params,
   }
 }
 
+void CircuitExecutor::apply_step(const kernels::KernelTable& kt,
+                                 std::size_t idx, const BoundPlan& bound,
+                                 cplx* amps, std::size_t len,
+                                 std::size_t off) const {
+  const Step& s = plan_[idx];
+  switch (s.kind) {
+    case StepKind::kSingle:
+      kt.apply_single(amps, len, bound.matrices[idx], s.target);
+      break;
+    case StepKind::kControlled:
+      kt.apply_controlled_single(amps, len, bound.matrices[idx], s.control,
+                                 s.target);
+      break;
+    case StepKind::kCNOT:
+      kt.apply_cnot(amps, len, s.control, s.target);
+      break;
+    case StepKind::kCZ:
+      kt.apply_cz(amps, len, s.control, s.target);
+      break;
+    case StepKind::kSWAP:
+      kt.apply_swap(amps, len, s.control, s.target);
+      break;
+    case StepKind::kDiagonal: {
+      const std::size_t di = static_cast<std::size_t>(s.diag_index);
+      const std::vector<cplx>& table =
+          s.constant ? const_diag_tables_[di] : bound.diag_tables[di];
+      kt.apply_diagonal_table(amps, len, table.data() + off);
+      break;
+    }
+  }
+}
+
+void CircuitExecutor::execute_blocked(const BoundPlan& bound, cplx* amps,
+                                      std::size_t dim) const {
+  const std::size_t bsz = std::size_t{1} << block_qubits_;
+  const std::int64_t nblocks = static_cast<std::int64_t>(dim >> block_qubits_);
+  // One level of parallelism: across cache blocks when this state is big
+  // enough to own the team, serial blocks when a batch loop already does
+  // (an inactive `if` region keeps omp_in_parallel() false for callees).
+  const bool par = kernels::use_amplitude_parallel(dim);
+  const kernels::KernelTable& serial = kernels::active();
+  for (const BlockGroup& g : groups_) {
+    if (g.local) {
+#pragma omp parallel for schedule(static) if (par)
+      for (std::int64_t b = 0; b < nblocks; ++b) {
+        const std::size_t off = static_cast<std::size_t>(b) << block_qubits_;
+        // Sweep the resident block once per group: every local step hits
+        // this block before it is evicted.
+        for (std::size_t idx : g.steps) {
+          apply_step(serial, idx, bound, amps + off, bsz, off);
+        }
+      }
+    } else {
+      // High-target step: full-array pass through the size-appropriate
+      // table (the parallel table's pair-exchange path on large states).
+      apply_step(kernels::table_for(dim), g.steps.front(), bound, amps, dim,
+                 0);
+    }
+  }
+}
+
 void CircuitExecutor::execute(const BoundPlan& bound,
                               Statevector& state) const {
   assert(state.num_qubits() == num_qubits_);
-  const kernels::KernelTable& kt = kernels::active();
   cplx* amps = state.amplitudes().data();
   const std::size_t dim = state.dim();
+  if (blocked_) {
+    execute_blocked(bound, amps, dim);
+    return;
+  }
+  const kernels::KernelTable& kt = kernels::table_for(dim);
   for (std::size_t i = 0; i < plan_.size(); ++i) {
-    const Step& s = plan_[i];
-    switch (s.kind) {
-      case StepKind::kSingle:
-        kt.apply_single(amps, dim, bound.matrices[i], s.target);
-        break;
-      case StepKind::kControlled:
-        kt.apply_controlled_single(amps, dim, bound.matrices[i], s.control,
-                                   s.target);
-        break;
-      case StepKind::kCNOT:
-        kt.apply_cnot(amps, dim, s.control, s.target);
-        break;
-      case StepKind::kCZ:
-        kt.apply_cz(amps, dim, s.control, s.target);
-        break;
-      case StepKind::kSWAP:
-        kt.apply_swap(amps, dim, s.control, s.target);
-        break;
-      case StepKind::kDiagonal: {
-        const std::size_t di = static_cast<std::size_t>(s.diag_index);
-        const std::vector<cplx>& table =
-            s.constant ? const_diag_tables_[di] : bound.diag_tables[di];
-        kt.apply_diagonal_table(amps, dim, table.data());
-        break;
-      }
-    }
+    apply_step(kt, i, bound, amps, dim, 0);
   }
 }
 
@@ -281,7 +424,13 @@ void CircuitExecutor::run_batch(
     std::vector<Statevector>& states) const {
   assert(params_batch.size() == states.size());
   const std::int64_t batch = static_cast<std::int64_t>(states.size());
-#pragma omp parallel
+  // Workload-shape switch: when one state crosses the amplitude-parallel
+  // threshold, the team is better spent inside each state (blocked sweeps
+  // + parallel kernels) than across samples — the `if` clause makes this
+  // region inactive so execute() sees omp_in_parallel() == false.
+  const bool amp_par =
+      kernels::use_amplitude_parallel(std::size_t{1} << num_qubits_);
+#pragma omp parallel if (!amp_par)
   {
     // One bind buffer per thread, reused across its samples.
     BoundPlan bound;
@@ -303,7 +452,11 @@ std::vector<AdjointResult> CircuitExecutor::adjoint_batch(
   assert(params_batch.size() == diags.size());
   const std::int64_t batch = static_cast<std::int64_t>(params_batch.size());
   std::vector<AdjointResult> results(static_cast<std::size_t>(batch));
-#pragma omp parallel
+  // Same workload-shape switch as run_batch(): amplitude-parallel inside
+  // each sample for large states, batch-parallel otherwise.
+  const bool amp_par =
+      kernels::use_amplitude_parallel(std::size_t{1} << num_qubits_);
+#pragma omp parallel if (!amp_par)
   {
     BoundPlan bound;
 #pragma omp for schedule(static)

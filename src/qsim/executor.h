@@ -33,9 +33,43 @@
 // the loop is embarrassingly parallel). The adjoint sweep uses the fused
 // plan for its forward pass and the exact per-gate reverse sweep of
 // adjoint.h for gradients, so gradients stay slot-exact.
+//
+// ---- cache-blocked schedule (20+ qubit states) ----------------------------
+//
+// Past ~2^15 amplitudes a statevector no longer fits in L2, and the plain
+// plan — one full O(2^n) sweep per step — pays a full memory round trip
+// per gate. When num_qubits > block_qubits (default 15, i.e. 2^15
+// amplitudes = 512 KiB blocks; override with SQVAE_BLOCK_QUBITS or
+// ExecutorOptions), the executor compiles a *blocked* schedule on top of
+// the fused plan:
+//
+//   * a step is block-local when every qubit it touches lies below
+//     block_qubits (its amplitude pairs never cross a block boundary);
+//     kDiagonal steps are block-local regardless of qubit — they are
+//     elementwise, and each block reads its own slice of the phase table;
+//   * a deterministic compile-time reordering greedily pulls block-local
+//     steps into groups, moving a step forward only past steps it
+//     commutes with (disjoint qubit sets, or both diagonal). The grouped
+//     order is part of the plan: serial and parallel execution run the
+//     identical sequence, so threading never changes result bits;
+//   * each group executes as one sweep over the blocks — every resident
+//     block has all the group's gates applied to it before eviction —
+//     OpenMP-parallel across blocks when the state crosses the
+//     kernels::use_amplitude_parallel() threshold;
+//   * non-local (high-target) steps execute between groups over the full
+//     array via the amplitude-parallel kernel table, whose explicit
+//     pair-exchange path (KernelTable::apply_single_pairs / swap_runs /
+//     negate_run) splits the long contiguous partner runs across threads.
+//
+// Batch entry points pick ONE level of parallelism by workload shape: when
+// a single state crosses the amplitude-parallel threshold, the per-sample
+// OpenMP loop collapses to serial (`if` clause) and the team works inside
+// each state instead; small states keep the batch-parallel loop and the
+// serial per-state fast path.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "qsim/adjoint.h"
@@ -45,11 +79,23 @@
 
 namespace sqvae::qsim {
 
+/// Compile-time knobs for CircuitExecutor.
+struct ExecutorOptions {
+  /// log2 of the cache-block size in amplitudes for the blocked schedule.
+  /// -1 resolves to the SQVAE_BLOCK_QUBITS environment variable, or 15
+  /// (512 KiB blocks). Blocking engages only when the circuit has more
+  /// qubits than this.
+  int block_qubits = -1;
+};
+
 class CircuitExecutor {
  public:
   /// Compiles the fusion plan. The executor is self-contained: it keeps its
   /// own copy of the op list, so the Circuit may be discarded afterwards.
   explicit CircuitExecutor(const Circuit& circuit);
+
+  /// As above, with explicit options (tests and benches pin block_qubits).
+  CircuitExecutor(const Circuit& circuit, const ExecutorOptions& options);
 
   int num_qubits() const { return num_qubits_; }
   int num_param_slots() const { return num_param_slots_; }
@@ -64,6 +110,19 @@ class CircuitExecutor {
   /// per-gate work with circuit execution (the trajectory backend inserts
   /// stochastic Pauli errors between gates) walk this alongside bind_ops().
   const std::vector<GateOp>& ops() const { return ops_; }
+
+  /// Cache-block size exponent in force for this executor (resolved from
+  /// ExecutorOptions / SQVAE_BLOCK_QUBITS at construction).
+  int block_qubits() const { return block_qubits_; }
+  /// True when the plan runs through the cache-blocked schedule
+  /// (num_qubits() > block_qubits()).
+  bool blocked() const { return blocked_; }
+  /// Number of groups in the blocked schedule: each block-local group is
+  /// one sweep over the blocks; each exchange group is one full-array
+  /// high-target step. Zero when !blocked().
+  std::size_t num_block_groups() const { return groups_.size(); }
+  /// Number of non-local steps executed via the pair-exchange path.
+  std::size_t num_exchange_steps() const { return num_exchange_steps_; }
 
   /// Runs the fused plan on `state` in place. Equivalent (up to float
   /// round-off) to qsim::run(circuit, params, state).
@@ -140,6 +199,13 @@ class CircuitExecutor {
     kernels::DiagonalRun scratch_run;
   };
 
+  /// One group of the blocked schedule: either a run of block-local steps
+  /// applied block by block, or a single non-local (exchange) step.
+  struct BlockGroup {
+    bool local = true;
+    std::vector<std::size_t> steps;  // indices into plan_
+  };
+
   /// Computes the matrix of step `s` under `params`.
   Mat2 bind_step(const Step& s, const std::vector<double>& params) const;
 
@@ -154,6 +220,19 @@ class CircuitExecutor {
   /// Applies the plan with the given bound state.
   void execute(const BoundPlan& bound, Statevector& state) const;
 
+  /// Applies plan step `idx` through kernel table `kt` to the sub-array
+  /// (amps, len) starting at absolute amplitude offset `off` (diagonal
+  /// steps slice their phase table at `off`). For non-blocked execution
+  /// off = 0 and len = dim.
+  void apply_step(const kernels::KernelTable& kt, std::size_t idx,
+                  const BoundPlan& bound, cplx* amps, std::size_t len,
+                  std::size_t off) const;
+
+  /// Blocked execute(): group sweeps over cache blocks, exchange steps
+  /// over the full array.
+  void execute_blocked(const BoundPlan& bound, cplx* amps,
+                       std::size_t dim) const;
+
   /// True when the step's matrix is diagonal for every parameter value
   /// (all factors are structurally diagonal gates).
   bool is_diagonal_step(const Step& s) const;
@@ -161,6 +240,13 @@ class CircuitExecutor {
   /// Coalesces maximal runs of >= 2 adjacent diagonal steps of `raw` into
   /// kDiagonal steps; pre-binds the tables of fully-constant runs.
   void coalesce_diagonal_runs(std::vector<Step> raw);
+
+  /// Bitmask (bit q = qubit q) of the qubits step `s` touches.
+  std::uint32_t step_qubit_mask(const Step& s) const;
+
+  /// Builds groups_ (the deterministic commute-and-group reordering) when
+  /// num_qubits_ > block_qubits_.
+  void build_blocked_schedule();
 
   int num_qubits_;
   int num_param_slots_;
@@ -171,6 +257,10 @@ class CircuitExecutor {
   std::vector<std::vector<cplx>> const_diag_tables_;
   std::size_t num_dynamic_diag_ = 0;
   std::size_t num_diag_steps_ = 0;
+  int block_qubits_ = 15;
+  bool blocked_ = false;
+  std::vector<BlockGroup> groups_;
+  std::size_t num_exchange_steps_ = 0;
 };
 
 }  // namespace sqvae::qsim

@@ -1,7 +1,13 @@
 #include "qsim/kernels.h"
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <cstdlib>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace sqvae::qsim::kernels {
 
@@ -200,6 +206,31 @@ void scalar_probabilities(const cplx* amps, std::size_t n, double* out) {
   for (std::size_t i = 0; i < n; ++i) out[i] = std::norm(amps[i]);
 }
 
+// Pair-run primitives: the same per-pair arithmetic as the strided kernels
+// above, on caller-supplied contiguous runs (high-target pair exchange).
+
+void scalar_apply_single_pairs(cplx* lo, cplx* hi, std::size_t count,
+                               const Mat2& m) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const cplx a0 = lo[i];
+    const cplx a1 = hi[i];
+    lo[i] = m[0] * a0 + m[1] * a1;
+    hi[i] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void scalar_swap_runs(cplx* lo, cplx* hi, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const cplx t = lo[i];
+    lo[i] = hi[i];
+    hi[i] = t;
+  }
+}
+
+void scalar_negate_run(cplx* amps, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) amps[i] = -amps[i];
+}
+
 // ---- dispatch -------------------------------------------------------------
 
 bool force_scalar_from_env() {
@@ -222,6 +253,303 @@ const Dispatch& dispatch() {
     return Dispatch{&scalar_table(), Isa::kScalar};
   }();
   return d;
+}
+
+// ---- amplitude-parallel drivers -------------------------------------------
+//
+// Each driver partitions the flattened work space into fixed-size chunks
+// and runs the active serial table (scalar or avx2) on each chunk. The
+// chunk geometry depends only on n — never on the thread count — so:
+//
+//   * gate kernels are bit-identical to a serial call under any schedule
+//     (disjoint writes, partition-invariant per-pair arithmetic);
+//   * reductions combine their per-chunk partials serially in chunk order
+//     after the parallel region, making every result bit-identical at
+//     1..N threads (the repo determinism contract). They are NOT bitwise
+//     equal to the serial table's single left-to-right chain — callers
+//     that need the serial bits keep the serial table (table_for() keeps
+//     small states there).
+//
+// Two regimes per gate kernel, keyed on the outer block size 2*b2 (see the
+// stride classes in kernels.h):
+//
+//   low qubits  (2*b2 <= chunk): every chunk is a whole number of outer
+//     blocks, so the serial kernel applied to (amps + off, len) computes
+//     exactly that slice — one virtual call per chunk, full SIMD inside.
+//   high qubits (2*b2 >  chunk): too few outer blocks to chunk. The
+//     contiguous lo-runs are split across chunks of the flattened pair
+//     space and driven through the explicit pair-exchange primitives
+//     (apply_single_pairs / swap_runs / negate_run).
+
+// 4096 amplitudes (64 KiB of cplx) per chunk: small enough that every
+// thread gets work at the 2^15-amplitude threshold, large enough that the
+// OpenMP dispatch cost vanishes against the chunk's arithmetic.
+constexpr std::size_t kParallelChunk = std::size_t{1} << 12;
+
+std::size_t threshold_from_env() {
+  const char* v = std::getenv("SQVAE_PAR_THRESHOLD");
+  if (v == nullptr || v[0] == '\0') return std::size_t{1} << 15;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return std::size_t{1} << 15;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::atomic<std::size_t>& threshold_storage() {
+  static std::atomic<std::size_t> t{threshold_from_env()};
+  return t;
+}
+
+inline std::int64_t chunk_count(std::size_t n) {
+  return static_cast<std::int64_t>((n + kParallelChunk - 1) / kParallelChunk);
+}
+
+/// Runs fn(off, len) over fixed-size chunks of [0, n), in parallel.
+template <typename Fn>
+void for_chunks(std::size_t n, Fn fn) {
+  const std::int64_t chunks = chunk_count(n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * kParallelChunk;
+    const std::size_t len = n - off < kParallelChunk ? n - off : kParallelChunk;
+    fn(off, len);
+  }
+}
+
+/// High-qubit pair walker. The lo indices of a gate with qubit masks
+/// b1 <= b2 form runs of length b1 spaced by the two-level bit pattern;
+/// flattened run-local index p in [0, n_units) maps to the array index by
+/// re-inserting a zero at each qubit's bit position and OR-ing the fixed
+/// set bits. fn(i, len) receives maximal sub-runs clipped to chunk
+/// boundaries; chunks partition [0, n_units) in fixed kParallelChunk / 2
+/// steps (each unit touches two amplitudes).
+template <typename Fn>
+void for_pair_runs(std::size_t n_units, std::size_t b1, std::size_t b2,
+                   std::size_t set_mask, Fn fn) {
+  const std::size_t step = kParallelChunk / 2;
+  const std::int64_t chunks =
+      static_cast<std::int64_t>((n_units + step - 1) / step);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    std::size_t p = static_cast<std::size_t>(c) * step;
+    const std::size_t pe = n_units - p < step ? n_units : p + step;
+    while (p < pe) {
+      const std::size_t o = p & (b1 - 1);
+      const std::size_t len = b1 - o < pe - p ? b1 - o : pe - p;
+      // Insert a zero bit at the b1 position, then at the b2 position.
+      std::size_t i = ((p & ~(b1 - 1)) << 1) | o;
+      i = ((i & ~(b2 - 1)) << 1) | (i & (b2 - 1));
+      fn(i | set_mask, len);
+      p += len;
+    }
+  }
+}
+
+/// Single-qubit variant: lo runs of length `stride`, no second level.
+template <typename Fn>
+void for_single_runs(std::size_t n_pairs, std::size_t stride, Fn fn) {
+  const std::size_t step = kParallelChunk / 2;
+  const std::int64_t chunks =
+      static_cast<std::int64_t>((n_pairs + step - 1) / step);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    std::size_t p = static_cast<std::size_t>(c) * step;
+    const std::size_t pe = n_pairs - p < step ? n_pairs : p + step;
+    while (p < pe) {
+      const std::size_t o = p & (stride - 1);
+      const std::size_t len = stride - o < pe - p ? stride - o : pe - p;
+      fn(((p & ~(stride - 1)) << 1) | o, len);
+      p += len;
+    }
+  }
+}
+
+inline void sort_masks(std::size_t x, std::size_t y, std::size_t& b1,
+                       std::size_t& b2) {
+  b1 = x < y ? x : y;
+  b2 = x < y ? y : x;
+}
+
+void par_apply_single(cplx* amps, std::size_t n, const Mat2& m, int target) {
+  const KernelTable& kt = active();
+  const std::size_t stride = std::size_t{1} << target;
+  if (2 * stride <= kParallelChunk) {
+    for_chunks(n, [&](std::size_t off, std::size_t len) {
+      kt.apply_single(amps + off, len, m, target);
+    });
+  } else {
+    for_single_runs(n / 2, stride, [&](std::size_t i, std::size_t len) {
+      kt.apply_single_pairs(amps + i, amps + i + stride, len, m);
+    });
+  }
+}
+
+void par_apply_controlled_single(cplx* amps, std::size_t n, const Mat2& m,
+                                 int control, int target) {
+  const KernelTable& kt = active();
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  std::size_t b1, b2;
+  sort_masks(cbit, tbit, b1, b2);
+  if (2 * b2 <= kParallelChunk) {
+    for_chunks(n, [&](std::size_t off, std::size_t len) {
+      kt.apply_controlled_single(amps + off, len, m, control, target);
+    });
+  } else {
+    for_pair_runs(n / 4, b1, b2, cbit, [&](std::size_t i, std::size_t len) {
+      kt.apply_single_pairs(amps + i, amps + (i | tbit), len, m);
+    });
+  }
+}
+
+void par_apply_cnot(cplx* amps, std::size_t n, int control, int target) {
+  const KernelTable& kt = active();
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  std::size_t b1, b2;
+  sort_masks(cbit, tbit, b1, b2);
+  if (2 * b2 <= kParallelChunk) {
+    for_chunks(n, [&](std::size_t off, std::size_t len) {
+      kt.apply_cnot(amps + off, len, control, target);
+    });
+  } else {
+    for_pair_runs(n / 4, b1, b2, cbit, [&](std::size_t i, std::size_t len) {
+      kt.swap_runs(amps + i, amps + (i | tbit), len);
+    });
+  }
+}
+
+void par_apply_cz(cplx* amps, std::size_t n, int control, int target) {
+  const KernelTable& kt = active();
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  std::size_t b1, b2;
+  sort_masks(cbit, tbit, b1, b2);
+  if (2 * b2 <= kParallelChunk) {
+    for_chunks(n, [&](std::size_t off, std::size_t len) {
+      kt.apply_cz(amps + off, len, control, target);
+    });
+  } else {
+    for_pair_runs(n / 4, b1, b2, cbit | tbit,
+                  [&](std::size_t i, std::size_t len) {
+                    kt.negate_run(amps + i, len);
+                  });
+  }
+}
+
+void par_apply_swap(cplx* amps, std::size_t n, int a, int b) {
+  const KernelTable& kt = active();
+  const std::size_t abit = std::size_t{1} << a;
+  const std::size_t bbit = std::size_t{1} << b;
+  std::size_t b1, b2;
+  sort_masks(abit, bbit, b1, b2);
+  const std::size_t flip = abit | bbit;
+  if (2 * b2 <= kParallelChunk) {
+    for_chunks(n, [&](std::size_t off, std::size_t len) {
+      kt.apply_swap(amps + off, len, a, b);
+    });
+  } else {
+    // Enumerate lo indices with the a-bit set, b-bit clear; the partner
+    // run starts at i ^ flip and is contiguous alongside (len <= b1).
+    for_pair_runs(n / 4, b1, b2, abit, [&](std::size_t i, std::size_t len) {
+      kt.swap_runs(amps + i, amps + (i ^ flip), len);
+    });
+  }
+}
+
+void par_apply_diagonal_table(cplx* amps, std::size_t n, const cplx* table) {
+  const KernelTable& kt = active();
+  for_chunks(n, [&](std::size_t off, std::size_t len) {
+    kt.apply_diagonal_table(amps + off, len, table + off);
+  });
+}
+
+void par_probabilities(const cplx* amps, std::size_t n, double* out) {
+  const KernelTable& kt = active();
+  for_chunks(n, [&](std::size_t off, std::size_t len) {
+    kt.probabilities(amps + off, len, out + off);
+  });
+}
+
+cplx par_inner(const cplx* a, const cplx* b, std::size_t n) {
+  const KernelTable& kt = active();
+  std::vector<cplx> partial(static_cast<std::size_t>(chunk_count(n)));
+  for_chunks(n, [&](std::size_t off, std::size_t len) {
+    partial[off / kParallelChunk] = kt.inner(a + off, b + off, len);
+  });
+  cplx s{0.0, 0.0};
+  for (const cplx& p : partial) s += p;
+  return s;
+}
+
+double par_norm_squared(const cplx* amps, std::size_t n) {
+  const KernelTable& kt = active();
+  std::vector<double> partial(static_cast<std::size_t>(chunk_count(n)));
+  for_chunks(n, [&](std::size_t off, std::size_t len) {
+    partial[off / kParallelChunk] = kt.norm_squared(amps + off, len);
+  });
+  double s = 0.0;
+  for (double p : partial) s += p;
+  return s;
+}
+
+double par_expectation_z(const cplx* amps, std::size_t n, int qubit) {
+  const KernelTable& kt = active();
+  const std::size_t bit = std::size_t{1} << qubit;
+  std::vector<double> partial(static_cast<std::size_t>(chunk_count(n)));
+  for_chunks(n, [&](std::size_t off, std::size_t len) {
+    double p;
+    if (2 * bit <= kParallelChunk) {
+      // The chunk holds whole 2*bit periods; the serial kernel sees the
+      // same bit pattern it would at offset 0.
+      p = kt.expectation_z(amps + off, len, qubit);
+    } else {
+      // The qubit bit is constant across the chunk: uniformly + or -.
+      // IEEE negation is exact, so this matches per-element signed
+      // accumulation bit for bit.
+      p = kt.norm_squared(amps + off, len);
+      if ((off & bit) != 0) p = -p;
+    }
+    partial[off / kParallelChunk] = p;
+  });
+  double s = 0.0;
+  for (double p : partial) s += p;
+  return s;
+}
+
+double par_apply_diag_observable(const double* diag, const cplx* psi,
+                                 cplx* lambda, std::size_t n) {
+  const KernelTable& kt = active();
+  std::vector<double> partial(static_cast<std::size_t>(chunk_count(n)));
+  for_chunks(n, [&](std::size_t off, std::size_t len) {
+    partial[off / kParallelChunk] =
+        kt.apply_diag_observable(diag + off, psi + off, lambda + off, len);
+  });
+  double s = 0.0;
+  for (double p : partial) s += p;
+  return s;
+}
+
+void par_apply_single_pairs(cplx* lo, cplx* hi, std::size_t count,
+                            const Mat2& m) {
+  const KernelTable& kt = active();
+  for_chunks(count, [&](std::size_t off, std::size_t len) {
+    kt.apply_single_pairs(lo + off, hi + off, len, m);
+  });
+}
+
+void par_swap_runs(cplx* lo, cplx* hi, std::size_t count) {
+  const KernelTable& kt = active();
+  for_chunks(count, [&](std::size_t off, std::size_t len) {
+    kt.swap_runs(lo + off, hi + off, len);
+  });
+}
+
+void par_negate_run(cplx* amps, std::size_t count) {
+  const KernelTable& kt = active();
+  for_chunks(count, [&](std::size_t off, std::size_t len) {
+    kt.negate_run(amps + off, len);
+  });
 }
 
 }  // namespace
@@ -261,8 +589,52 @@ const KernelTable& scalar_table() {
       scalar_expectation_z,
       scalar_apply_diag_observable,
       scalar_probabilities,
+      scalar_apply_single_pairs,
+      scalar_swap_runs,
+      scalar_negate_run,
   };
   return t;
+}
+
+const KernelTable& parallel_table() {
+  static const KernelTable t = {
+      par_apply_single,
+      par_apply_controlled_single,
+      par_apply_cnot,
+      par_apply_cz,
+      par_apply_swap,
+      par_apply_diagonal_table,
+      par_inner,
+      par_norm_squared,
+      par_expectation_z,
+      par_apply_diag_observable,
+      par_probabilities,
+      par_apply_single_pairs,
+      par_swap_runs,
+      par_negate_run,
+  };
+  return t;
+}
+
+std::size_t parallel_threshold() {
+  return threshold_storage().load(std::memory_order_relaxed);
+}
+
+void set_parallel_threshold(std::size_t threshold) {
+  threshold_storage().store(threshold, std::memory_order_relaxed);
+}
+
+bool use_amplitude_parallel(std::size_t n) {
+#ifdef _OPENMP
+  return n >= parallel_threshold() && !omp_in_parallel();
+#else
+  (void)n;
+  return false;
+#endif
+}
+
+const KernelTable& table_for(std::size_t n) {
+  return use_amplitude_parallel(n) ? parallel_table() : active();
 }
 
 const KernelTable& active() { return *dispatch().table; }
@@ -278,7 +650,7 @@ void apply_diagonal_run(cplx* amps, std::size_t n, int num_qubits,
   assert(n == (std::size_t{1} << num_qubits));
   thread_local std::vector<cplx> table;
   build_diagonal_table(run, num_qubits, table);
-  active().apply_diagonal_table(amps, n, table.data());
+  table_for(n).apply_diagonal_table(amps, n, table.data());
 }
 
 }  // namespace sqvae::qsim::kernels

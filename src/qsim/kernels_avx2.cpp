@@ -301,6 +301,54 @@ void avx2_apply_diagonal_table(cplx* amps, std::size_t n, const cplx* table) {
   }
 }
 
+// ---- pair-run primitives --------------------------------------------------
+//
+// Contiguous (lo, hi) runs for the high-target pair-exchange path. The
+// 256-bit body is the same fmaddsub arithmetic as transform_pairs2, and the
+// odd-length tail drops to the 128-bit body, which performs identical
+// per-lane operations — so run splitting at any boundary is bit-neutral.
+
+void avx2_apply_single_pairs(cplx* lo, cplx* hi, std::size_t count,
+                             const Mat2& m) {
+  const Mat2Bc c(m);
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) transform_pairs2(lo + i, hi + i, c);
+  if (i < count) {
+    const Mat2Bc128 c128(m);
+    transform_pair128(lo + i, hi + i, c128);
+  }
+}
+
+void avx2_swap_runs(cplx* lo, cplx* hi, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m256d va = _mm256_loadu_pd(dp(lo + i));
+    const __m256d vb = _mm256_loadu_pd(dp(hi + i));
+    _mm256_storeu_pd(dp(lo + i), vb);
+    _mm256_storeu_pd(dp(hi + i), va);
+  }
+  if (i < count) {
+    const __m128d va = _mm_loadu_pd(dp(lo + i));
+    const __m128d vb = _mm_loadu_pd(dp(hi + i));
+    _mm_storeu_pd(dp(lo + i), vb);
+    _mm_storeu_pd(dp(hi + i), va);
+  }
+}
+
+void avx2_negate_run(cplx* amps, std::size_t count) {
+  const __m256d neg = _mm256_set1_pd(-0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    _mm256_storeu_pd(dp(amps + i),
+                     _mm256_xor_pd(_mm256_loadu_pd(dp(amps + i)), neg));
+  }
+  if (i < count) {
+    const __m128d neg128 = _mm_set1_pd(-0.0);
+    _mm_storeu_pd(dp(amps + i),
+                  _mm_xor_pd(_mm_loadu_pd(dp(amps + i)), neg128));
+  }
+}
+
 // ---- reductions -----------------------------------------------------------
 
 cplx avx2_inner(const cplx* a, const cplx* b, std::size_t n) {
@@ -409,6 +457,9 @@ const KernelTable& avx2_table() {
       avx2_expectation_z,
       avx2_apply_diag_observable,
       avx2_probabilities,
+      avx2_apply_single_pairs,
+      avx2_swap_runs,
+      avx2_negate_run,
   };
   return t;
 }

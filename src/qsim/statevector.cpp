@@ -37,7 +37,8 @@ void Statevector::reset() {
 }
 
 double Statevector::norm_squared() const {
-  return kernels::active().norm_squared(amps_.data(), amps_.size());
+  const std::size_t n = amps_.size();
+  return kernels::table_for(n).norm_squared(amps_.data(), n);
 }
 
 bool Statevector::is_normalized(double tol) const {
@@ -46,7 +47,8 @@ bool Statevector::is_normalized(double tol) const {
 
 void Statevector::apply_single(const Mat2& m, int target) {
   assert(target >= 0 && target < num_qubits_);
-  kernels::active().apply_single(amps_.data(), amps_.size(), m, target);
+  const std::size_t n = amps_.size();
+  kernels::table_for(n).apply_single(amps_.data(), n, m, target);
 }
 
 void Statevector::apply_controlled_single(const Mat2& m, int control,
@@ -54,29 +56,33 @@ void Statevector::apply_controlled_single(const Mat2& m, int control,
   assert(control >= 0 && control < num_qubits_);
   assert(target >= 0 && target < num_qubits_);
   assert(control != target);
-  kernels::active().apply_controlled_single(amps_.data(), amps_.size(), m,
-                                            control, target);
+  const std::size_t n = amps_.size();
+  kernels::table_for(n).apply_controlled_single(amps_.data(), n, m, control,
+                                                target);
 }
 
 void Statevector::apply_cnot(int control, int target) {
   assert(control >= 0 && control < num_qubits_);
   assert(target >= 0 && target < num_qubits_);
   assert(control != target);
-  kernels::active().apply_cnot(amps_.data(), amps_.size(), control, target);
+  const std::size_t n = amps_.size();
+  kernels::table_for(n).apply_cnot(amps_.data(), n, control, target);
 }
 
 void Statevector::apply_cz(int control, int target) {
   assert(control >= 0 && control < num_qubits_);
   assert(target >= 0 && target < num_qubits_);
   assert(control != target);
-  kernels::active().apply_cz(amps_.data(), amps_.size(), control, target);
+  const std::size_t n = amps_.size();
+  kernels::table_for(n).apply_cz(amps_.data(), n, control, target);
 }
 
 void Statevector::apply_swap(int a, int b) {
   assert(a >= 0 && a < num_qubits_);
   assert(b >= 0 && b < num_qubits_);
   assert(a != b);
-  kernels::active().apply_swap(amps_.data(), amps_.size(), a, b);
+  const std::size_t n = amps_.size();
+  kernels::table_for(n).apply_swap(amps_.data(), n, a, b);
 }
 
 void Statevector::apply_diagonal_run(const kernels::DiagonalRun& run) {
@@ -85,12 +91,14 @@ void Statevector::apply_diagonal_run(const kernels::DiagonalRun& run) {
 
 double Statevector::expectation_z(int qubit) const {
   assert(qubit >= 0 && qubit < num_qubits_);
-  return kernels::active().expectation_z(amps_.data(), amps_.size(), qubit);
+  const std::size_t n = amps_.size();
+  return kernels::table_for(n).expectation_z(amps_.data(), n, qubit);
 }
 
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> p(amps_.size());
-  kernels::active().probabilities(amps_.data(), amps_.size(), p.data());
+  kernels::table_for(amps_.size()).probabilities(amps_.data(), amps_.size(),
+                                                 p.data());
   return p;
 }
 
@@ -105,7 +113,8 @@ double Statevector::expectation_diag(const std::vector<double>& diag) const {
 
 cplx Statevector::inner(const Statevector& a, const Statevector& b) {
   assert(a.dim() == b.dim());
-  return kernels::active().inner(a.amps_.data(), b.amps_.data(), a.dim());
+  return kernels::table_for(a.dim()).inner(a.amps_.data(), b.amps_.data(),
+                                           a.dim());
 }
 
 }  // namespace sqvae::qsim

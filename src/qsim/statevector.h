@@ -8,7 +8,10 @@
 // All amplitude loops delegate to the runtime-dispatched kernel layer
 // (qsim/kernels.h): scalar reference kernels or AVX2+FMA, selected once at
 // startup, so every caller — interpreter, executor, adjoint sweep,
-// stochastic backends — runs the same vectorised code.
+// stochastic backends — runs the same vectorised code. States at or above
+// kernels::parallel_threshold() amplitudes additionally route through the
+// OpenMP amplitude-parallel table (kernels::table_for), unless the caller
+// is already inside a parallel batch loop.
 #pragma once
 
 #include <cstddef>

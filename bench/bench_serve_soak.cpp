@@ -227,6 +227,32 @@ std::uint64_t stats_field(const std::string& stats, const std::string& key) {
   return std::strtoull(stats.c_str() + pos + key.size() + 4, nullptr, 10);
 }
 
+/// One in-band Prometheus scrape on a fresh connection: reads the
+/// multi-line body until its "# EOF" terminator line. Exercises the
+/// {"op": "stats", "format": "prometheus"} wire path under post-soak
+/// server state; returns the body ("" on any transport failure).
+std::string query_stats_prometheus(int port) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return "";
+  const char* req = "{\"op\": \"stats\", \"format\": \"prometheus\"}\n";
+  (void)!::send(fd, req, std::strlen(req), MSG_NOSIGNAL);
+  std::string body;
+  std::string line;
+  char c;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c != '\n') {
+      line.push_back(c);
+      continue;
+    }
+    body += line + "\n";
+    if (line == "# EOF") break;
+    line.clear();
+  }
+  ::close(fd);
+  if (line != "# EOF") return "";  // truncated: the terminator never came
+  return body;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -426,6 +452,25 @@ int main(int argc, char** argv) {
     if (stats_field(stats, "requests_shed") != 0 ||
         stats_field(stats, "connections_shed") != 0) {
       soak.fail("server shed load (rate too high for this box/lane)");
+    }
+  }
+
+  // The Prometheus variant must frame correctly over the same socket
+  // path (multi-line body, "# EOF" terminator) and agree with the JSON
+  // scrape's invariants. Note: under --workers each scrape lands on one
+  // kernel-chosen shard, so the two scrapes may describe different
+  // shards — assert per-shard invariants, never cross-scrape equality.
+  const std::string prom = query_stats_prometheus(port);
+  if (prom.empty()) {
+    soak.fail("could not scrape the in-band Prometheus stats variant");
+  } else {
+    if (prom.find("# TYPE sqvae_request_latency_seconds histogram") ==
+        std::string::npos) {
+      soak.fail("Prometheus scrape lacks the latency histogram family");
+    }
+    if (prom.find("sqvae_protocol_errors_total{shard=\"") ==
+        std::string::npos) {
+      soak.fail("Prometheus scrape lacks shard-labelled counters");
     }
   }
 

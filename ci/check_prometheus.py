@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (0.0.4) body from a live scrape.
+
+Usage: check_prometheus.py FILE [FILE...]
+       check_prometheus.py --require METRIC=VALUE FILE
+
+Checks the rules a scraper depends on: line grammar, metric/label name
+charsets, HELP/TYPE present before a family's first sample, histogram le
+buckets strictly increasing with non-decreasing cumulative counts ending
+at le="+Inf" == _count. `--require` additionally asserts that a metric
+(first sample of that family in the file) has an exact value — the soak
+gate uses it to prove a rollout reached every shard
+(sqvae_model_generation=2). Exits non-zero with a message on the first
+violation. Stdlib only; no installs.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$")
+LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"(?:,|$)')
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def validate(body, path):
+    helped, types = set(), {}
+    # (family, labels-minus-le) -> [last_le, last_count, saw_inf,
+    #                               inf_value, count_value]
+    histograms = {}
+    values = {}
+    for lineno, line in enumerate(body.splitlines(), 1):
+        where = "%s:%d" % (path, lineno)
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                if not NAME_RE.match(name):
+                    return "%s: bad name on %s line" % (where, parts[1])
+                if parts[1] == "HELP":
+                    if name in helped:
+                        return "%s: duplicate HELP for %s" % (where, name)
+                    helped.add(name)
+                else:
+                    kind = parts[3] if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                        return "%s: unknown TYPE %r" % (where, kind)
+                    if name in types:
+                        return "%s: duplicate TYPE for %s" % (where, name)
+                    types[name] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return "%s: unparsable sample: %r" % (where, line)
+        name, _, labels_text, value_text = m.groups()
+        labels = {}
+        if labels_text:
+            consumed = sum(
+                len(p.group(0)) for p in LABEL_PAIR_RE.finditer(labels_text))
+            if consumed != len(labels_text):
+                return "%s: malformed label set: %r" % (where, labels_text)
+            labels = {p.group(1): p.group(2)
+                      for p in LABEL_PAIR_RE.finditer(labels_text)}
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            return "%s: unparsable value: %r" % (where, value_text)
+        family = family_of(name)
+        if family not in types:
+            return "%s: sample before TYPE: %s" % (where, name)
+        if family not in helped:
+            return "%s: sampled family without HELP: %s" % (where, family)
+        values.setdefault(name, value)
+        if types[family] == "histogram":
+            group = (family,
+                     tuple(sorted((k, v) for k, v in labels.items()
+                                  if k != "le")))
+            state = histograms.setdefault(
+                group, [None, None, False, None, None])
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    return "%s: bucket without le" % where
+                if state[2]:
+                    return "%s: bucket after +Inf in %s" % (where, family)
+                if le == "+Inf":
+                    state[2], state[3] = True, value
+                else:
+                    bound = parse_value(le)
+                    if state[0] is not None and bound <= state[0]:
+                        return "%s: le bounds not increasing" % where
+                    if state[1] is not None and value < state[1]:
+                        return "%s: bucket counts not monotonic" % where
+                    state[0], state[1] = bound, value
+            elif name == family + "_count":
+                state[4] = value
+    for (family, _), state in histograms.items():
+        if not state[2]:
+            return "%s: histogram %s lacks a +Inf bucket" % (path, family)
+        if state[4] is None:
+            return "%s: histogram %s lacks _count" % (path, family)
+        if state[1] is not None and state[3] < state[1]:
+            return "%s: histogram %s +Inf below last bucket" % (path, family)
+        if state[3] != state[4]:
+            return "%s: histogram %s _count != +Inf bucket" % (path, family)
+    return values
+
+
+def main(argv):
+    requires = []
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require":
+            metric, _, want = argv[i + 1].partition("=")
+            requires.append((metric, float(want)))
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if not paths:
+        sys.exit(__doc__)
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            body = f.read()
+        result = validate(body, path)
+        if isinstance(result, str):
+            sys.exit("check_prometheus: FAIL: " + result)
+        for metric, want in requires:
+            got = result.get(metric)
+            if got is None:
+                sys.exit("check_prometheus: FAIL: %s: %s not found"
+                         % (path, metric))
+            if got != want:
+                sys.exit("check_prometheus: FAIL: %s: %s = %g (want %g)"
+                         % (path, metric, got, want))
+        print("check_prometheus: %s: ok (%d series)" % (path, len(result)))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -4,26 +4,41 @@
 # Poisson traffic through it with bench_serve_soak (which asserts per-
 # connection ordering, zero non-ok responses, zero protocol errors, zero
 # shed — and RSTs a handful of connections mid-stream to exercise the
-# dead-peer teardown), replays the exact request stream through
-# `sqvae_serve --reference`, and diffs the two response streams
-# byte-for-byte. Identical bytes = the determinism contract held under
-# 1k-way concurrency, micro-batching, caching, and in-flight dedup.
-# Finally, SIGTERM must produce a graceful drain and exit 0.
+# dead-peer teardown), fires a mid-soak SIGHUP checkpoint rollout (same
+# checkpoint file, so determinism must hold across the generation bump),
+# replays the exact request stream through `sqvae_serve --reference`, and
+# diffs the two response streams byte-for-byte. Identical bytes = the
+# determinism contract held under 1k-way concurrency, micro-batching,
+# caching, in-flight dedup — and, with SOAK_WORKERS > 1, across N
+# SO_REUSEPORT shard processes and a zero-downtime rollout.
+#
+# Every shard's Prometheus endpoint is then scraped over plain HTTP and
+# run through ci/check_prometheus.py: the exposition must parse, the
+# model generation must be 2 on every shard (proof the rollout fan-out
+# reached all of them), and no shard may have shed or miscounted.
+# Finally, SIGTERM must produce a coordinated graceful drain and exit 0.
 #
 # Usage: ci/serve_soak.sh [BUILD_DIR]
-# Env:   SOAK_CONNS (default 1024), SOAK_SECONDS (20), SOAK_RATE (400/s).
-#        The TSan lane lowers SECONDS/RATE: instrumented compute is ~10x
-#        slower and the assertions (no shed, no drops) must stay true.
+# Env:   SOAK_CONNS (default 1024), SOAK_SECONDS (20), SOAK_RATE (400/s),
+#        SOAK_WORKERS (1; >1 exercises multi-process sharding).
+#        The TSan lane lowers SECONDS/RATE and keeps WORKERS=1:
+#        instrumented compute is ~10x slower and TSan does not follow
+#        forks; the assertions (no shed, no drops) must stay true.
 set -eu
 
 BUILD="${1:-build}"
 CONNS="${SOAK_CONNS:-1024}"
 SECONDS_ARG="${SOAK_SECONDS:-20}"
 RATE="${SOAK_RATE:-400}"
+WORKERS="${SOAK_WORKERS:-1}"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  # Multi-process mode: shards are the supervisor's children, not ours,
+  # and survive a kill -9 of the supervisor. Their argv carries the
+  # workdir's unique checkpoint path — match on it.
+  pkill -9 -f "$WORK/soak.ckpt" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -38,22 +53,69 @@ echo "== serve soak: training 1 epoch (classical-vae, cheap) =="
 SERVE_FLAGS="--checkpoint=$WORK/soak.ckpt --model=classical-vae \
   --input_dim=64 --latent=6"
 PORT=$(( 20000 + RANDOM % 20000 ))
+STATS_PORT=$(( 41000 + RANDOM % 20000 ))
 
-echo "== serve soak: starting event-loop server on :$PORT (cache on) =="
+echo "== serve soak: starting $WORKERS worker(s) on :$PORT (cache on," \
+     "stats on :$STATS_PORT+shard) =="
 "$BUILD/sqvae_serve" $SERVE_FLAGS --port="$PORT" --cache_mb=32 \
-  --max_conns=4096 --threads=2 2> "$WORK/server.err" &
+  --max_conns=4096 --threads=2 --workers="$WORKERS" \
+  --stats_port="$STATS_PORT" 2> "$WORK/server.err" &
 SERVER_PID=$!
-for _ in $(seq 1 50); do
-  grep -q "listening" "$WORK/server.err" 2>/dev/null && break
+for _ in $(seq 1 100); do
+  LISTENING=$(grep -c "listening" "$WORK/server.err" 2>/dev/null || true)
+  [ "$LISTENING" -ge "$WORKERS" ] && break
   kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/server.err"; exit 1; }
   sleep 0.1
 done
+if [ "$LISTENING" -lt "$WORKERS" ]; then
+  echo "soak: FAIL: only $LISTENING of $WORKERS shards came up"
+  cat "$WORK/server.err"
+  exit 1
+fi
 
-echo "== serve soak: $CONNS conns, ${SECONDS_ARG}s, ${RATE} req/s =="
+echo "== serve soak: $CONNS conns, ${SECONDS_ARG}s, ${RATE} req/s," \
+     "SIGHUP rollout at t=${SECONDS_ARG}/2 =="
 "$BUILD/bench_serve_soak" --port="$PORT" --conns="$CONNS" \
   --seconds="$SECONDS_ARG" --rate="$RATE" --input_dim=64 \
   --requests_out="$WORK/requests.jsonl" \
-  --responses_out="$WORK/served.out"
+  --responses_out="$WORK/served.out" &
+BENCH_PID=$!
+# Mid-soak zero-downtime rollout: re-publish the same checkpoint under a
+# new generation while traffic is in flight. Responses must not change
+# (the model content is identical) and none may be lost.
+sleep $(( SECONDS_ARG / 2 ))
+kill -HUP "$SERVER_PID"
+wait "$BENCH_PID" || {
+  echo "soak: FAIL: bench_serve_soak failed (see assertions above)"
+  exit 1
+}
+RELOADS=$(grep -c "reloaded checkpoint" "$WORK/server.err" || true)
+if [ "$RELOADS" -lt "$WORKERS" ]; then
+  echo "soak: FAIL: rollout reached $RELOADS of $WORKERS shards"
+  cat "$WORK/server.err"
+  exit 1
+fi
+
+echo "== serve soak: per-shard Prometheus scrape + format check =="
+for i in $(seq 0 $(( WORKERS - 1 ))); do
+  SHARD_PORT=$(( STATS_PORT + i ))
+  # Plain-HTTP GET over bash's /dev/tcp; strip the response head.
+  exec 3<>"/dev/tcp/127.0.0.1/$SHARD_PORT"
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  sed -e '1,/^\r*$/d' <&3 > "$WORK/shard$i.prom"
+  exec 3<&- 3>&-
+  grep -q "shard=\"$i\"" "$WORK/shard$i.prom" || {
+    echo "soak: FAIL: scrape of :$SHARD_PORT lacks the shard=\"$i\" label"
+    exit 1
+  }
+done
+# Format compliance on every shard, plus: generation 2 everywhere (the
+# rollout reached every shard) and zero shed/protocol errors anywhere.
+python3 "$(dirname "$0")/check_prometheus.py" \
+  --require sqvae_model_generation=2 \
+  --require sqvae_requests_shed_total=0 \
+  --require sqvae_protocol_errors_total=0 \
+  "$WORK"/shard*.prom
 
 echo "== serve soak: --reference replay + byte diff =="
 "$BUILD/sqvae_serve" $SERVE_FLAGS --reference \
@@ -85,5 +147,6 @@ if [ "$STATUS" -ne 0 ]; then
 fi
 cat "$WORK/server.err" | tail -2
 
-echo "serve soak passed: $(wc -l < "$WORK/served.out") responses" \
-     "byte-identical to the reference replay, graceful drain clean"
+echo "serve soak passed: $(wc -l < "$WORK/served.out") responses from" \
+     "$WORKERS worker(s) byte-identical to the reference replay across a" \
+     "mid-soak rollout, graceful drain clean"

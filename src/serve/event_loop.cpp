@@ -34,7 +34,8 @@ using Clock = std::chrono::steady_clock;
 constexpr std::uint64_t kListenerToken = 0;
 constexpr std::uint64_t kStopToken = 1;
 constexpr std::uint64_t kWakeToken = 2;
-constexpr std::uint64_t kFirstConnToken = 3;
+constexpr std::uint64_t kReloadToken = 3;
+constexpr std::uint64_t kFirstConnToken = 4;
 
 constexpr const char* kOverloadedConnLine =
     "{\"ok\": false, \"error\": \"overloaded: connection limit reached\"}\n";
@@ -50,6 +51,7 @@ bool set_nonblocking(int fd) {
 struct Slot {
   bool ready = false;
   bool timed = false;  // record latency on completion (inference slots)
+  int endpoint = -1;   // per-endpoint latency attribution (timed slots)
   std::string line;
   Clock::time_point submitted{};
 };
@@ -90,6 +92,7 @@ struct EventLoopServer::Impl {
   int listen_fd = -1;
   int stop_fd = -1;
   int wake_fd = -1;
+  int reload_fd = -1;
   int bound_port = 0;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
@@ -116,6 +119,7 @@ struct EventLoopServer::Impl {
     if (listen_fd >= 0) ::close(listen_fd);
     if (stop_fd >= 0) ::close(stop_fd);
     if (wake_fd >= 0) ::close(wake_fd);
+    if (reload_fd >= 0) ::close(reload_fd);
     if (epoll_fd >= 0) ::close(epoll_fd);
   }
 
@@ -137,12 +141,18 @@ struct EventLoopServer::Impl {
     if (epoll_fd < 0) return fail("epoll_create1");
     stop_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-    if (stop_fd < 0 || wake_fd < 0) return fail("eventfd");
+    reload_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (stop_fd < 0 || wake_fd < 0 || reload_fd < 0) return fail("eventfd");
 
     listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listen_fd < 0) return fail("socket");
     const int one = 1;
     ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (config.reuse_port &&
+        ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+      return fail("setsockopt(SO_REUSEPORT)");
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -165,7 +175,8 @@ struct EventLoopServer::Impl {
     // accept_ready).
     if (!add_fd(listen_fd, kListenerToken, EPOLLIN) ||
         !add_fd(stop_fd, kStopToken, EPOLLIN) ||
-        !add_fd(wake_fd, kWakeToken, EPOLLIN)) {
+        !add_fd(wake_fd, kWakeToken, EPOLLIN) ||
+        !add_fd(reload_fd, kReloadToken, EPOLLIN)) {
       return fail("epoll_ctl");
     }
     return true;
@@ -316,16 +327,25 @@ struct EventLoopServer::Impl {
     if (request.is_stats) {
       Slot slot;
       slot.ready = true;
-      slot.line = render_stats_response(
-          stats, service.queue().depth(),
-          service.registry().generation(request.model), request.has_id,
-          request.id);
+      slot.line =
+          request.stats_prometheus
+              ? render_stats_prometheus(
+                    stats, service.queue().depth(),
+                    service.registry().generation(request.model),
+                    config.shard)
+              : render_stats_response(
+                    stats, service.queue().depth(),
+                    service.registry().generation(request.model),
+                    request.has_id, request.id);
       conn->slots.push_back(std::move(slot));
       return;
     }
+    stats.endpoint[static_cast<int>(request.endpoint)].requests.fetch_add(
+        1, std::memory_order_relaxed);
 
     Slot slot;
     slot.timed = true;
+    slot.endpoint = static_cast<int>(request.endpoint);
     slot.submitted = Clock::now();
     const std::uint64_t seq =
         conn->base_seq + static_cast<std::uint64_t>(conn->slots.size());
@@ -348,8 +368,13 @@ struct EventLoopServer::Impl {
     std::vector<double> payload = std::move(request.x);
     request.x.clear();
     Impl* impl = this;
-    auto on_done = [impl, token, seq, request = std::move(request)](
+    auto on_done = [impl, token, seq, endpoint,
+                    request = std::move(request)](
                        const InferenceResult& result) {
+      if (!result.ok) {
+        impl->stats.endpoint[static_cast<int>(endpoint)].errors.fetch_add(
+            1, std::memory_order_relaxed);
+      }
       Completion completion;
       completion.token = token;
       completion.seq = seq;
@@ -400,6 +425,10 @@ struct EventLoopServer::Impl {
                             Clock::now() - slot.submitted)
                             .count();
         stats.latency.record_us(static_cast<std::uint64_t>(us));
+        if (slot.endpoint >= 0 && slot.endpoint < kStatsEndpoints) {
+          stats.endpoint[slot.endpoint].latency.record_us(
+              static_cast<std::uint64_t>(us));
+        }
       }
       conn->slots.pop_front();
       ++conn->base_seq;
@@ -565,6 +594,17 @@ struct EventLoopServer::Impl {
           drain_completions();
           continue;
         }
+        if (token == kReloadToken) {
+          std::uint64_t counter = 0;
+          (void)!::read(reload_fd, &counter, sizeof(counter));
+          // Coalesced: N SIGHUPs before this wakeup reload once. The
+          // hook runs on the loop thread — checkpoint loading is
+          // millisecond-scale, and in-flight batches are pinned to the
+          // generation they started with (registry.h), so traffic
+          // neither drops nor mixes generations.
+          if (config.on_reload) config.on_reload();
+          continue;
+        }
         const auto it = conns.find(token);
         if (it == conns.end()) continue;  // closed earlier this batch
         Conn* conn = it->second.get();
@@ -607,6 +647,11 @@ void EventLoopServer::request_stop() {
   (void)!::write(impl_->stop_fd, &one, sizeof(one));
 }
 
+void EventLoopServer::request_reload() {
+  const std::uint64_t one = 1;
+  (void)!::write(impl_->reload_fd, &one, sizeof(one));
+}
+
 }  // namespace sqvae::serve
 
 #else  // !__linux__
@@ -632,6 +677,8 @@ int EventLoopServer::port() const { return 0; }
 int EventLoopServer::run() { return 1; }
 
 void EventLoopServer::request_stop() {}
+
+void EventLoopServer::request_reload() {}
 
 }  // namespace sqvae::serve
 

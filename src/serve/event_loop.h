@@ -36,11 +36,19 @@
 //     a SIGTERM handler) stops accepting, parses no further input,
 //     finishes and flushes every in-flight response, then closes within
 //     drain_timeout_ms.
+//   * Zero-downtime rollout: request_reload() (async-signal-safe — the
+//     SIGHUP handler's hook) makes the loop thread invoke
+//     config.on_reload, which republishes the checkpoint through the
+//     ModelRegistry; traffic keeps flowing, generation-pinned.
+//   * Multi-process sharding: with config.reuse_port, N shard processes
+//     bind the same port via SO_REUSEPORT and the kernel load-balances
+//     accepted connections across them (see supervisor.h).
 //
 // Not built on non-Linux platforms (epoll): start() fails with an error.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -52,6 +60,17 @@ namespace sqvae::serve {
 struct EventLoopConfig {
   /// TCP port on 127.0.0.1; 0 = ephemeral (read the choice via port()).
   int port = 0;
+  /// Bind with SO_REUSEPORT so N shard processes share one port and the
+  /// kernel load-balances accepts across them (multi-process serving;
+  /// see src/serve/supervisor.h).
+  bool reuse_port = false;
+  /// Shard index reported in the Prometheus export's shard label.
+  int shard = 0;
+  /// Invoked on the loop thread after request_reload() — the checkpoint
+  /// rollout hook (typically: re-load the checkpoint file and publish it
+  /// into the ModelRegistry; in-flight batches are generation-pinned and
+  /// finish on the old snapshot, see registry.h).
+  std::function<void()> on_reload;
   int listen_backlog = 1024;
   /// Connection-count admission limit (see header notes).
   std::size_t max_conns = 10000;
@@ -94,6 +113,11 @@ class EventLoopServer {
   /// Initiates graceful drain; async-signal-safe (one eventfd write).
   /// Safe to call from any thread, multiple times.
   void request_stop();
+
+  /// Requests a checkpoint rollout: the loop thread invokes
+  /// config.on_reload at the next iteration. Async-signal-safe (one
+  /// eventfd write) — this is the SIGHUP hook. No-op without on_reload.
+  void request_reload();
 
  private:
   struct Impl;

@@ -183,6 +183,7 @@ bool parse_request_line(const std::string& line, WireRequest* out,
   error->clear();
   if (blank(line)) return false;
 
+  std::string format;
   Scanner scan(line);
   if (!scan.eat('{')) {
     *error = "request must be a {...} object";
@@ -211,6 +212,8 @@ bool parse_request_line(const std::string& line, WireRequest* out,
         out->has_id = true;
       } else if (key == "x") {
         parsed = scan.array_value(&out->x);
+      } else if (key == "format") {
+        parsed = scan.string_value(&format);
       } else {
         parsed = scan.skip_value();
       }
@@ -235,6 +238,14 @@ bool parse_request_line(const std::string& line, WireRequest* out,
   }
   if (out->op == "stats") {
     out->is_stats = true;
+    // "format" selects the stats wire shape; it is ignored (skipped like
+    // any unknown key) on inference ops.
+    if (format == "prometheus") {
+      out->stats_prometheus = true;
+    } else if (!format.empty() && format != "json") {
+      *error = "unknown stats format: " + format + " (json, prometheus)";
+      return false;
+    }
     return true;
   }
   if (!parse_endpoint(out->op, &out->endpoint)) {

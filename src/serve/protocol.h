@@ -9,6 +9,9 @@
 //   seed   per-request determinism seed (default 0)
 //   model  registry name (default "default")
 //   id     opaque tag echoed back, for pipelined clients (optional)
+//   format "json" (default) or "prometheus" — stats op only: selects the
+//          one-line JSON object or the multi-line Prometheus text
+//          exposition (terminated by a "# EOF" line)
 //
 // Response: {"ok": true, "id": 42, "op": "reconstruct", "y": [...]}
 //       or  {"ok": false, "id": 42, "error": "..."}
@@ -39,6 +42,11 @@ struct WireRequest {
   /// True for {"op": "stats"}: answered by the transport layer (event
   /// loop or stdin driver) from its ServerStats, never enqueued.
   bool is_stats = false;
+  /// {"op": "stats", "format": "prometheus"}: the transport answers with
+  /// the multi-line Prometheus text exposition instead of the one-line
+  /// JSON object. The body's last line is "# EOF" — clients read up to
+  /// it, since the line protocol's one-line framing does not apply.
+  bool stats_prometheus = false;
   Endpoint endpoint = Endpoint::kReconstruct;  // parsed from op
 };
 

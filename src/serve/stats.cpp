@@ -1,8 +1,18 @@
 #include "serve/stats.h"
 
 #include <cstdio>
+#include <sstream>
+
+#include "serve/batch_queue.h"
 
 namespace sqvae::serve {
+
+static_assert(static_cast<int>(Endpoint::kLatentSample) + 1 == kStatsEndpoints,
+              "kStatsEndpoints must mirror the Endpoint enum");
+
+const char* stats_endpoint_name(int e) {
+  return endpoint_name(static_cast<Endpoint>(e));
+}
 
 double LatencyHistogram::percentile_us(double q) const {
   // Snapshot the buckets once; concurrent recording keeps each bucket
@@ -25,15 +35,18 @@ double LatencyHistogram::percentile_us(double q) const {
     const double before = static_cast<double>(seen);
     seen += counts[b];
     if (static_cast<double>(seen) < rank) continue;
-    // Linear interpolation inside [2^(b-1), 2^b) (bucket 0 = [0, 1]).
-    const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
-    const double hi = static_cast<double>(1ull << b);
+    // Linear interpolation inside the bucket's true bounds: bucket 0
+    // holds [0, 2)us, bucket b >= 1 holds [2^b, 2^(b+1))us. Every sample
+    // in the bucket lies inside [lo, hi), so the estimate is off by at
+    // most hi - lo — one bucket width, a factor of 2.
+    const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << b);
+    const double hi = static_cast<double>(1ull << (b + 1));
     const double frac =
         counts[b] == 0 ? 0.0
                        : (rank - before) / static_cast<double>(counts[b]);
     return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
   }
-  return static_cast<double>(1ull << (kBuckets - 1));
+  return static_cast<double>(bucket_upper_us(kBuckets - 1));
 }
 
 std::string render_stats_response(const ServerStats& stats,
@@ -43,38 +56,235 @@ std::string render_stats_response(const ServerStats& stats,
   const auto v = [](const std::atomic<std::uint64_t>& a) {
     return static_cast<unsigned long long>(a.load(std::memory_order_relaxed));
   };
-  char buf[1536];
-  int n = std::snprintf(buf, sizeof(buf), "{\"ok\": true, ");
-  if (has_id) {
-    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
-                       "\"id\": %llu, ", static_cast<unsigned long long>(id));
+  std::ostringstream os;
+  os << "{\"ok\": true, ";
+  if (has_id) os << "\"id\": " << id << ", ";
+  os << "\"op\": \"stats\", "
+     << "\"connections_accepted\": " << v(stats.connections_accepted)
+     << ", \"connections_active\": " << v(stats.connections_active)
+     << ", \"connections_closed\": " << v(stats.connections_closed)
+     << ", \"connections_reset\": " << v(stats.connections_reset)
+     << ", \"connections_shed\": " << v(stats.connections_shed)
+     << ", \"connections_idle_closed\": " << v(stats.connections_idle_closed)
+     << ", \"requests_total\": " << v(stats.requests_total)
+     << ", \"responses_total\": " << v(stats.responses_total)
+     << ", \"protocol_errors\": " << v(stats.protocol_errors)
+     << ", \"requests_shed\": " << v(stats.requests_shed)
+     << ", \"cache_hits\": " << v(stats.cache_hits)
+     << ", \"cache_misses\": " << v(stats.cache_misses)
+     << ", \"cache_inflight_joined\": " << v(stats.cache_inflight_joined)
+     << ", \"cache_evictions\": " << v(stats.cache_evictions)
+     << ", \"cache_bytes\": " << v(stats.cache_bytes)
+     << ", \"cache_entries\": " << v(stats.cache_entries)
+     << ", \"queue_depth\": " << queue_depth
+     << ", \"registry_generation\": " << registry_generation;
+  // Percentiles are <= 2^40 so ~14 chars, but %.1f's worst case for an
+  // arbitrary double is ~310 — size for the compiler's view of it.
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                ", \"latency_count\": %llu, \"latency_p50_us\": %.1f, "
+                "\"latency_p99_us\": %.1f",
+                static_cast<unsigned long long>(stats.latency.count()),
+                stats.latency.percentile_us(0.50),
+                stats.latency.percentile_us(0.99));
+  os << buf;
+  for (int e = 0; e < kStatsEndpoints; ++e) {
+    const EndpointStats& ep = stats.endpoint[e];
+    const char* name = stats_endpoint_name(e);
+    os << ", \"" << name << "_requests\": " << v(ep.requests) << ", \""
+       << name << "_errors\": " << v(ep.errors);
+    std::snprintf(buf, sizeof(buf), ", \"%s_p50_us\": %.1f", name,
+                  ep.latency.percentile_us(0.50));
+    os << buf;
+    std::snprintf(buf, sizeof(buf), ", \"%s_p99_us\": %.1f", name,
+                  ep.latency.percentile_us(0.99));
+    os << buf;
   }
-  n += std::snprintf(
-      buf + n, sizeof(buf) - static_cast<std::size_t>(n),
-      "\"op\": \"stats\", "
-      "\"connections_accepted\": %llu, \"connections_active\": %llu, "
-      "\"connections_closed\": %llu, \"connections_reset\": %llu, "
-      "\"connections_shed\": %llu, \"connections_idle_closed\": %llu, "
-      "\"requests_total\": %llu, \"responses_total\": %llu, "
-      "\"protocol_errors\": %llu, \"requests_shed\": %llu, "
-      "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-      "\"cache_inflight_joined\": %llu, \"cache_evictions\": %llu, "
-      "\"cache_bytes\": %llu, \"cache_entries\": %llu, "
-      "\"queue_depth\": %llu, \"registry_generation\": %llu, "
-      "\"latency_count\": %llu, \"latency_p50_us\": %.1f, "
-      "\"latency_p99_us\": %.1f}",
-      v(stats.connections_accepted), v(stats.connections_active),
-      v(stats.connections_closed), v(stats.connections_reset),
-      v(stats.connections_shed), v(stats.connections_idle_closed),
-      v(stats.requests_total), v(stats.responses_total),
-      v(stats.protocol_errors), v(stats.requests_shed), v(stats.cache_hits),
-      v(stats.cache_misses), v(stats.cache_inflight_joined),
-      v(stats.cache_evictions), v(stats.cache_bytes), v(stats.cache_entries),
-      static_cast<unsigned long long>(queue_depth),
-      static_cast<unsigned long long>(registry_generation),
-      static_cast<unsigned long long>(stats.latency.count()),
-      stats.latency.percentile_us(0.50), stats.latency.percentile_us(0.99));
-  return std::string(buf, static_cast<std::size_t>(n));
+  os << "}";
+  return os.str();
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends one metric family: HELP, TYPE, then one sample per (extra
+/// label set, value) pair the caller emits via the returned helper.
+void family(std::string* out, const char* name, const char* type,
+            const char* help) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+void sample(std::string* out, const char* name, const std::string& labels,
+            double value) {
+  char buf[64];
+  // %.17g round-trips doubles; counters are integers and print as such.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += name;
+  if (!labels.empty()) {
+    *out += '{';
+    *out += labels;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string render_stats_prometheus(const ServerStats& stats,
+                                    std::uint64_t queue_depth,
+                                    std::uint64_t registry_generation,
+                                    int shard) {
+  const auto v = [](const std::atomic<std::uint64_t>& a) {
+    return static_cast<double>(a.load(std::memory_order_relaxed));
+  };
+  const std::string shard_label = "shard=\"" + std::to_string(shard) + "\"";
+
+  std::string out;
+  out.reserve(8192);
+
+  struct Counter {
+    const char* name;
+    const char* type;
+    const char* help;
+    double value;
+  };
+  const Counter counters[] = {
+      {"sqvae_connections_accepted_total", "counter",
+       "Connections accepted by the event loop.",
+       v(stats.connections_accepted)},
+      {"sqvae_connections_active", "gauge", "Currently open connections.",
+       v(stats.connections_active)},
+      {"sqvae_connections_closed_total", "counter", "Connections closed.",
+       v(stats.connections_closed)},
+      {"sqvae_connections_reset_total", "counter",
+       "Connections torn down because the peer died mid-stream.",
+       v(stats.connections_reset)},
+      {"sqvae_connections_shed_total", "counter",
+       "Connections refused by the --max_conns admission limit.",
+       v(stats.connections_shed)},
+      {"sqvae_connections_idle_closed_total", "counter",
+       "Connections closed by the --idle_ms timeout.",
+       v(stats.connections_idle_closed)},
+      {"sqvae_requests_total", "counter", "Request lines received.",
+       v(stats.requests_total)},
+      {"sqvae_responses_total", "counter", "Response lines sent.",
+       v(stats.responses_total)},
+      {"sqvae_protocol_errors_total", "counter",
+       "Request lines that failed to parse.", v(stats.protocol_errors)},
+      {"sqvae_requests_shed_total", "counter",
+       "Requests refused by queue load shedding.", v(stats.requests_shed)},
+      {"sqvae_cache_hits_total", "counter", "Response cache hits.",
+       v(stats.cache_hits)},
+      {"sqvae_cache_misses_total", "counter", "Response cache misses.",
+       v(stats.cache_misses)},
+      {"sqvae_cache_inflight_joined_total", "counter",
+       "Requests that joined an identical in-flight computation.",
+       v(stats.cache_inflight_joined)},
+      {"sqvae_cache_evictions_total", "counter", "Response cache evictions.",
+       v(stats.cache_evictions)},
+      {"sqvae_cache_bytes", "gauge", "Response cache resident bytes.",
+       v(stats.cache_bytes)},
+      {"sqvae_cache_entries", "gauge", "Response cache resident entries.",
+       v(stats.cache_entries)},
+      {"sqvae_queue_depth", "gauge", "Batch queue depth at scrape time.",
+       static_cast<double>(queue_depth)},
+      {"sqvae_model_generation", "gauge",
+       "Registry generation of the default model (bumps on rollout).",
+       static_cast<double>(registry_generation)},
+  };
+  for (const Counter& c : counters) {
+    family(&out, c.name, c.type, c.help);
+    sample(&out, c.name, shard_label, c.value);
+  }
+
+  family(&out, "sqvae_endpoint_requests_total", "counter",
+         "Requests received, by endpoint.");
+  for (int e = 0; e < kStatsEndpoints; ++e) {
+    const std::string labels =
+        shard_label + ",endpoint=\"" +
+        prometheus_escape_label(stats_endpoint_name(e)) + "\"";
+    sample(&out, "sqvae_endpoint_requests_total", labels,
+           v(stats.endpoint[e].requests));
+  }
+  family(&out, "sqvae_endpoint_errors_total", "counter",
+         "Non-ok responses, by endpoint.");
+  for (int e = 0; e < kStatsEndpoints; ++e) {
+    const std::string labels =
+        shard_label + ",endpoint=\"" +
+        prometheus_escape_label(stats_endpoint_name(e)) + "\"";
+    sample(&out, "sqvae_endpoint_errors_total", labels,
+           v(stats.endpoint[e].errors));
+  }
+
+  // Latency histograms: cumulative le buckets in seconds. The le bounds
+  // are the histogram's true inclusive bounds (bucket_upper_us), so a
+  // bucket's count is exactly the number of requests at or under its
+  // bound — honest buckets, no interpolation on this path.
+  family(&out, "sqvae_request_latency_seconds", "histogram",
+         "Request wall time from parse to response ready, by endpoint.");
+  for (int e = 0; e < kStatsEndpoints; ++e) {
+    const LatencyHistogram& h = stats.endpoint[e].latency;
+    const std::string labels =
+        shard_label + ",endpoint=\"" +
+        prometheus_escape_label(stats_endpoint_name(e)) + "\"";
+    // One bucket snapshot feeds the cumulative series, the +Inf bucket,
+    // and _count: deriving +Inf from the separate count() atomic could
+    // momentarily disagree with the bucket sums under concurrent
+    // recording and break the validator's monotonicity check.
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < LatencyHistogram::kBuckets - 1; ++b) {
+      cumulative += h.bucket_count(b);
+      char le[48];
+      std::snprintf(le, sizeof(le), "%.17g",
+                    static_cast<double>(LatencyHistogram::bucket_upper_us(b)) /
+                        1e6);
+      sample(&out, "sqvae_request_latency_seconds_bucket",
+             labels + ",le=\"" + le + "\"",
+             static_cast<double>(cumulative));
+    }
+    cumulative += h.bucket_count(LatencyHistogram::kBuckets - 1);
+    sample(&out, "sqvae_request_latency_seconds_bucket",
+           labels + ",le=\"+Inf\"", static_cast<double>(cumulative));
+    sample(&out, "sqvae_request_latency_seconds_sum", labels,
+           static_cast<double>(h.sum_us()) / 1e6);
+    sample(&out, "sqvae_request_latency_seconds_count", labels,
+           static_cast<double>(cumulative));
+  }
+
+  // Comment terminator: line-protocol clients reading the in-band
+  // variant stop here; Prometheus parsers ignore comments.
+  out += "# EOF";
+  return out;
 }
 
 }  // namespace sqvae::serve

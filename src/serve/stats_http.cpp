@@ -1,0 +1,172 @@
+#include "serve/stats_http.h"
+
+#ifdef __unix__
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace sqvae::serve {
+
+namespace {
+
+/// Reads until the blank line ending the request head, the peer closes,
+/// or ~1s elapses. The request itself is ignored — every scrape gets the
+/// same body — but not reading it first risks a RST racing the response.
+void swallow_request(int fd) {
+  char buf[4096];
+  std::string head;
+  for (int spins = 0; spins < 20; ++spins) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 50) <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos || head.size() > 65536) {
+      return;
+    }
+  }
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct StatsHttpServer::Impl {
+  int config_port;
+  std::function<std::string()> render;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::atomic<bool> stopping{false};
+  std::thread accept_thread;
+
+  Impl(int port, std::function<std::string()> r)
+      : config_port(port), render(std::move(r)) {}
+
+  ~Impl() {
+    stop();
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  bool start(std::string* error) {
+    const auto fail = [&](const char* what) {
+      if (error != nullptr) {
+        *error = std::string(what) + ": " + std::strerror(errno);
+      }
+      return false;
+    };
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) return fail("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_port));
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return fail("bind(stats_port)");
+    }
+    if (::listen(listen_fd, 16) < 0) return fail("listen");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      bound_port = static_cast<int>(ntohs(addr.sin_port));
+    }
+    accept_thread = std::thread([this] { accept_loop(); });
+    return true;
+  }
+
+  void accept_loop() {
+    while (!stopping.load(std::memory_order_acquire)) {
+      pollfd pfd{};
+      pfd.fd = listen_fd;
+      pfd.events = POLLIN;
+      // The 100ms tick bounds stop() latency; scrape rates are seconds.
+      const int n = ::poll(&pfd, 1, 100);
+      if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+      const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) continue;
+      swallow_request(fd);
+      const std::string body = render();
+      std::string head =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n";
+      send_all(fd, head);
+      send_all(fd, body);
+      ::close(fd);
+    }
+  }
+
+  // Idempotent for a single calling thread (the owner): joinable() goes
+  // false after the first join.
+  void stop() {
+    stopping.store(true, std::memory_order_release);
+    if (accept_thread.joinable()) accept_thread.join();
+  }
+};
+
+StatsHttpServer::StatsHttpServer(int port, std::function<std::string()> render)
+    : impl_(std::make_unique<Impl>(port, std::move(render))) {}
+
+StatsHttpServer::~StatsHttpServer() = default;
+
+bool StatsHttpServer::start(std::string* error) {
+  return impl_->start(error);
+}
+
+int StatsHttpServer::port() const { return impl_->bound_port; }
+
+void StatsHttpServer::stop() { impl_->stop(); }
+
+}  // namespace sqvae::serve
+
+#else  // !__unix__
+
+namespace sqvae::serve {
+
+struct StatsHttpServer::Impl {};
+
+StatsHttpServer::StatsHttpServer(int, std::function<std::string()>) {}
+
+StatsHttpServer::~StatsHttpServer() = default;
+
+bool StatsHttpServer::start(std::string* error) {
+  if (error != nullptr) *error = "the stats HTTP endpoint requires unix";
+  return false;
+}
+
+int StatsHttpServer::port() const { return 0; }
+
+void StatsHttpServer::stop() {}
+
+}  // namespace sqvae::serve
+
+#endif  // __unix__

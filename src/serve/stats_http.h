@@ -1,0 +1,52 @@
+// StatsHttpServer: a minimal plain-HTTP scrape endpoint for Prometheus.
+//
+// Prometheus scrapes over HTTP; the serve line protocol is not HTTP. This
+// server bridges the gap with the smallest thing that satisfies a
+// scraper: one background thread accepts connections on 127.0.0.1:port,
+// answers every request (any method, any path) with a 200 text/plain
+// response whose body comes from the injected render callback, and
+// closes. No keep-alive, no routing, no TLS — metrics only, loopback
+// only; anything fancier belongs in a real reverse proxy.
+//
+// Each shard runs its own instance on stats_port + shard: per-shard
+// metrics need per-shard addresses (binding one SO_REUSEPORT scrape port
+// would hand each scrape to a random shard and make time series
+// incoherent).
+//
+// Unix-only (sockets + poll); start() fails with an error elsewhere.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace sqvae::serve {
+
+class StatsHttpServer {
+ public:
+  /// `render` produces the response body; it runs on the server's
+  /// accept thread and must be thread-safe against the serving stack
+  /// (the stats renderers are: relaxed-atomic snapshots).
+  StatsHttpServer(int port, std::function<std::string()> render);
+  /// Stops and joins the accept thread.
+  ~StatsHttpServer();
+
+  StatsHttpServer(const StatsHttpServer&) = delete;
+  StatsHttpServer& operator=(const StatsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:port and starts the accept thread. False + `error`
+  /// on failure (port in use, unsupported platform).
+  bool start(std::string* error);
+
+  /// The bound port (after start(); resolves port == 0).
+  int port() const;
+
+  /// Stops the accept thread (idempotent; also run by the destructor).
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sqvae::serve

@@ -1,0 +1,302 @@
+#include "serve/supervisor.h"
+
+#ifdef __unix__
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace sqvae::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Self-pipe commands (single bytes, written by async-signal-safe
+/// request_* methods, read by the supervision loop).
+constexpr char kCmdDrain = 't';
+constexpr char kCmdRollout = 'h';
+
+/// A shard that died in under this long counts as a fast crash.
+constexpr std::chrono::seconds kFastCrashWindow{1};
+
+struct Shard {
+  pid_t pid = -1;
+  Clock::time_point spawned{};
+  int fast_crashes = 0;
+  /// Respawn scheduled (crash backoff): spawn when now >= respawn_at.
+  bool pending_respawn = false;
+  Clock::time_point respawn_at{};
+  bool exited = false;
+  int wait_status = 0;
+};
+
+}  // namespace
+
+struct ShardSupervisor::Impl {
+  SupervisorConfig config;
+  int pipe_rd = -1;
+  int pipe_wr = -1;
+  std::atomic<std::uint64_t> restarts{0};
+
+  std::vector<Shard> shards;
+  bool draining = false;
+  bool failed = false;
+
+  explicit Impl(const SupervisorConfig& c) : config(c) {
+    int fds[2] = {-1, -1};
+    if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) == 0) {
+      pipe_rd = fds[0];
+      pipe_wr = fds[1];
+    }
+  }
+
+  ~Impl() {
+    if (pipe_rd >= 0) ::close(pipe_rd);
+    if (pipe_wr >= 0) ::close(pipe_wr);
+  }
+
+  bool spawn(int i, const std::function<int(int)>& shard_main) {
+    const pid_t pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      // The parent's SIGTERM/SIGINT/SIGHUP handlers route into this
+      // supervisor's self-pipe; the child must not inherit them (its
+      // shard_main installs its own, pointing at its event loop).
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGHUP, SIG_DFL);
+      if (pipe_rd >= 0) ::close(pipe_rd);
+      if (pipe_wr >= 0) ::close(pipe_wr);
+      const int rc = shard_main(i);
+      // _exit, not exit: the child shares the parent's atexit
+      // registrations and must not run them (double-flush, double-free
+      // of process-wide state owned by the parent).
+      std::fflush(nullptr);
+      ::_exit(rc & 0xff);
+    }
+    Shard& shard = shards[static_cast<std::size_t>(i)];
+    shard.pid = pid;
+    shard.spawned = Clock::now();
+    shard.pending_respawn = false;
+    shard.exited = false;
+    return true;
+  }
+
+  void signal_live(int signo) {
+    for (const Shard& shard : shards) {
+      if (shard.pid > 0) ::kill(shard.pid, signo);
+    }
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    // Shards with a respawn pending stay down: the fleet is going away.
+    for (Shard& shard : shards) {
+      if (shard.pid < 0 && shard.pending_respawn) {
+        shard.pending_respawn = false;
+        shard.exited = true;
+        shard.wait_status = 0;
+      }
+    }
+    signal_live(SIGTERM);
+  }
+
+  void drain_pipe() {
+    char buf[64];
+    while (true) {
+      const ssize_t n = ::read(pipe_rd, buf, sizeof(buf));
+      if (n <= 0) return;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (buf[i] == kCmdDrain) begin_drain();
+        if (buf[i] == kCmdRollout && !draining) signal_live(SIGHUP);
+      }
+    }
+  }
+
+  /// Handles one reaped child. Returns false when the supervisor should
+  /// give up (crash loop).
+  bool handle_exit(int i, int status, const std::function<int(int)>& main) {
+    Shard& shard = shards[static_cast<std::size_t>(i)];
+    const auto lifetime = Clock::now() - shard.spawned;
+    shard.pid = -1;
+    if (draining) {
+      shard.exited = true;
+      shard.wait_status = status;
+      return true;
+    }
+    // Outside a drain every exit is unexpected — crash or a stray
+    // per-shard SIGTERM — and the supervisor's job is to keep the fleet
+    // at N: restart it, with linear backoff on consecutive fast crashes.
+    const bool fast = lifetime < kFastCrashWindow;
+    shard.fast_crashes = fast ? shard.fast_crashes + 1 : 0;
+    if (WIFSIGNALED(status)) {
+      std::fprintf(stderr,
+                   "sqvae_serve: shard %d died on signal %d; restarting\n", i,
+                   WTERMSIG(status));
+    } else {
+      std::fprintf(stderr,
+                   "sqvae_serve: shard %d exited %d unexpectedly; "
+                   "restarting\n",
+                   i, WEXITSTATUS(status));
+    }
+    if (shard.fast_crashes > config.max_fast_crashes) {
+      std::fprintf(stderr,
+                   "sqvae_serve: shard %d crash-looped %d times; giving up\n",
+                   i, shard.fast_crashes);
+      failed = true;
+      shard.exited = true;
+      shard.wait_status = status;
+      begin_drain();
+      return true;
+    }
+    restarts.fetch_add(1, std::memory_order_relaxed);
+    if (fast) {
+      shard.pending_respawn = true;
+      shard.respawn_at =
+          Clock::now() + std::chrono::milliseconds(config.restart_backoff_ms *
+                                                   static_cast<std::uint64_t>(
+                                                       shard.fast_crashes));
+    } else if (!spawn(i, main)) {
+      failed = true;
+      begin_drain();
+    }
+    return true;
+  }
+
+  int run(const std::function<int(int)>& shard_main, std::string* error) {
+    const auto fail = [&](const char* what) {
+      if (error != nullptr) {
+        *error = std::string(what) + ": " + std::strerror(errno);
+      }
+      return 1;
+    };
+    if (pipe_rd < 0) return fail("pipe2");
+    shards.assign(static_cast<std::size_t>(config.workers), Shard{});
+    for (int i = 0; i < config.workers; ++i) {
+      if (!spawn(i, shard_main)) {
+        // Partial fleet: tear down what was forked and report.
+        failed = true;
+        begin_drain();
+        for (std::size_t j = 0; j < shards.size(); ++j) {
+          if (static_cast<int>(j) >= i) shards[j].exited = true;
+        }
+        (void)fail("fork");
+        break;
+      }
+    }
+
+    while (true) {
+      // Reap everything that has exited.
+      while (true) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0) break;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+          if (shards[i].pid == pid) {
+            handle_exit(static_cast<int>(i), status, shard_main);
+            break;
+          }
+        }
+      }
+
+      // Pending respawns whose backoff elapsed.
+      if (!draining) {
+        const Clock::time_point now = Clock::now();
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+          Shard& shard = shards[i];
+          if (shard.pending_respawn && now >= shard.respawn_at) {
+            if (!spawn(static_cast<int>(i), shard_main)) {
+              failed = true;
+              begin_drain();
+              shard.exited = true;
+            }
+          }
+        }
+      }
+
+      if (draining) {
+        bool all_exited = true;
+        bool all_clean = !failed;
+        for (const Shard& shard : shards) {
+          if (shard.pid > 0) all_exited = false;
+          if (shard.exited &&
+              !(WIFEXITED(shard.wait_status) &&
+                WEXITSTATUS(shard.wait_status) == 0)) {
+            all_clean = false;
+          }
+        }
+        if (all_exited) return all_clean ? 0 : 1;
+      }
+
+      pollfd pfd{};
+      pfd.fd = pipe_rd;
+      pfd.events = POLLIN;
+      // The 50ms tick bounds respawn-backoff and reap latency; SIGCHLD
+      // is not handled (waitpid polling keeps the loop signal-free
+      // beyond the self-pipe).
+      const int n = ::poll(&pfd, 1, 50);
+      if (n > 0 && (pfd.revents & POLLIN) != 0) drain_pipe();
+    }
+  }
+};
+
+ShardSupervisor::ShardSupervisor(const SupervisorConfig& config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+ShardSupervisor::~ShardSupervisor() = default;
+
+int ShardSupervisor::run(const std::function<int(int shard)>& shard_main,
+                         std::string* error) {
+  return impl_->run(shard_main, error);
+}
+
+void ShardSupervisor::request_drain() {
+  (void)!::write(impl_->pipe_wr, &kCmdDrain, 1);
+}
+
+void ShardSupervisor::request_rollout() {
+  (void)!::write(impl_->pipe_wr, &kCmdRollout, 1);
+}
+
+std::uint64_t ShardSupervisor::restarts() const {
+  return impl_->restarts.load(std::memory_order_relaxed);
+}
+
+}  // namespace sqvae::serve
+
+#else  // !__unix__
+
+namespace sqvae::serve {
+
+struct ShardSupervisor::Impl {};
+
+ShardSupervisor::ShardSupervisor(const SupervisorConfig&) {}
+
+ShardSupervisor::~ShardSupervisor() = default;
+
+int ShardSupervisor::run(const std::function<int(int shard)>&,
+                         std::string* error) {
+  if (error != nullptr) *error = "multi-process serving requires fork (unix)";
+  return 1;
+}
+
+void ShardSupervisor::request_drain() {}
+
+void ShardSupervisor::request_rollout() {}
+
+std::uint64_t ShardSupervisor::restarts() const { return 0; }
+
+}  // namespace sqvae::serve
+
+#endif  // __unix__

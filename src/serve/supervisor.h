@@ -1,0 +1,90 @@
+// ShardSupervisor: forks and babysits N SO_REUSEPORT shard processes.
+//
+// Multi-process serving (`sqvae_serve --workers=N`) runs N independent
+// event-loop processes, each binding the same port with SO_REUSEPORT so
+// the kernel load-balances accepted connections across them. Processes —
+// not threads — because each shard owns a full serving stack (event
+// loop, worker pool, response cache) with zero shared mutable state, so
+// a crash in one shard cannot corrupt another, and because SO_REUSEPORT
+// distributes at accept time with no user-space coordination.
+//
+// The supervisor itself is deliberately tiny and thread-free: it forks
+// the shards (fork MUST happen before any thread exists — each shard
+// creates its InferenceService worker pool only inside the child), then
+// sits in a poll/waitpid loop:
+//
+//   * Crash restart — a shard that exits non-zero (or on a signal)
+//     outside a drain is re-forked. Consecutive fast crashes (< 1s of
+//     lifetime) back off linearly and give up after max_fast_crashes,
+//     terminating the fleet: a shard that cannot hold up its port for a
+//     second is misconfigured, not unlucky.
+//   * Coordinated drain — request_drain() (async-signal-safe: one byte
+//     to a self-pipe; the CLI's SIGTERM/SIGINT handler calls it)
+//     forwards SIGTERM to every live shard; each shard runs its event
+//     loop's graceful drain. run() returns 0 iff every shard exited 0.
+//   * Rollout fan-out — request_rollout() (async-signal-safe; the SIGHUP
+//     handler's hook) forwards SIGHUP to every live shard, which reload
+//     their checkpoint through the event loop's request_reload() path.
+//
+// In the child, the supervisor restores SIGTERM/SIGINT/SIGHUP to their
+// defaults (the parent's handlers point at the supervisor's self-pipe,
+// which the child must not inherit), closes the self-pipe, runs
+// shard_main(shard), and _exit()s with its return value — never
+// returning into the parent's stack.
+//
+// Unix-only (fork); start() fails with an error elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace sqvae::serve {
+
+struct SupervisorConfig {
+  /// Number of shard processes to fork.
+  int workers = 1;
+  /// Give up after this many consecutive fast crashes (< 1s lifetime) of
+  /// one shard; slower crash loops reset the count on each healthy
+  /// second of lifetime.
+  int max_fast_crashes = 8;
+  /// Base restart delay; consecutive fast crashes back off linearly
+  /// (1x, 2x, 3x, ...).
+  std::uint64_t restart_backoff_ms = 100;
+};
+
+class ShardSupervisor {
+ public:
+  explicit ShardSupervisor(const SupervisorConfig& config);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Forks the shards and supervises until a drain completes (0 iff all
+  /// shards exited 0) or a shard crash-loops past max_fast_crashes (1).
+  /// `shard_main` runs in each child and must be fork-safe: call run()
+  /// before creating any threads. False-like failures of fork itself
+  /// return 1 with `error` set when given.
+  int run(const std::function<int(int shard)>& shard_main,
+          std::string* error = nullptr);
+
+  /// Initiates a coordinated graceful drain (SIGTERM fan-out).
+  /// Async-signal-safe; callable from any thread, multiple times.
+  void request_drain();
+
+  /// Fans SIGHUP out to every live shard (checkpoint rollout).
+  /// Async-signal-safe.
+  void request_rollout();
+
+  /// Shards restarted after a crash so far (not an atomic hot path; for
+  /// tests and the exit log line).
+  std::uint64_t restarts() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sqvae::serve

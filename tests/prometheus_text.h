@@ -1,0 +1,253 @@
+// Prometheus text-exposition (format 0.0.4) validator shared by the
+// serving test suites. Header-only on purpose: tests/*.cpp are globbed
+// into one binary each, so shared helpers live in headers.
+//
+// validate_prometheus_text() checks the structural rules a scraper
+// relies on and returns the first violation as a message ("" = valid):
+//
+//   * line grammar — every line is a comment, a "# HELP <name> <text>",
+//     a "# TYPE <name> <type>" with a known type, or a sample
+//     "<name>[{labels}] <value>";
+//   * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names match
+//     [a-zA-Z_][a-zA-Z0-9_]*, label values are double-quoted with only
+//     \\ \" \n escapes;
+//   * every sampled family has HELP and TYPE, TYPE precedes the
+//     family's first sample, and a family's lines are contiguous;
+//   * histogram families: per label set, le buckets are monotonically
+//     non-decreasing in value with strictly increasing bounds ending at
+//     le="+Inf", and _count equals the +Inf bucket.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace prom_test {
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+  bool value_is_inf = false;
+};
+
+inline bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (i == 0 ? !alpha : !(alpha || (c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+inline bool valid_label_name(const std::string& s) {
+  return valid_metric_name(s) && s.find(':') == std::string::npos;
+}
+
+/// Family a sample belongs to: histogram/summary suffixes fold into the
+/// base name.
+inline std::string family_of(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return name.substr(0, name.size() - s.size());
+    }
+  }
+  return name;
+}
+
+/// Parses one sample line into `out`; returns "" or an error.
+inline std::string parse_sample_line(const std::string& line, Sample* out) {
+  std::size_t pos = 0;
+  while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+  out->name = line.substr(0, pos);
+  if (!valid_metric_name(out->name)) {
+    return "bad metric name in: " + line;
+  }
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::size_t eq = line.find('=', pos);
+      if (eq == std::string::npos) return "label without '=' in: " + line;
+      const std::string label = line.substr(pos, eq - pos);
+      if (!valid_label_name(label)) return "bad label name in: " + line;
+      if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+        return "label value not quoted in: " + line;
+      }
+      std::string value;
+      std::size_t i = eq + 2;
+      for (; i < line.size() && line[i] != '"'; ++i) {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) return "dangling escape in: " + line;
+          const char e = line[i + 1];
+          if (e != '\\' && e != '"' && e != 'n') {
+            return "bad escape in label value in: " + line;
+          }
+          value += e == 'n' ? '\n' : e;
+          ++i;
+          continue;
+        }
+        value += line[i];
+      }
+      if (i >= line.size()) return "unterminated label value in: " + line;
+      out->labels[label] = value;
+      pos = i + 1;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      return "unterminated label set in: " + line;
+    }
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    return "missing value separator in: " + line;
+  }
+  const std::string value_text = line.substr(pos + 1);
+  if (value_text == "+Inf" || value_text == "Inf") {
+    out->value_is_inf = true;
+    return "";
+  }
+  char* end = nullptr;
+  out->value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    return "unparsable value in: " + line;
+  }
+  return "";
+}
+
+inline std::string validate_prometheus_text(const std::string& body) {
+  std::set<std::string> helped;
+  std::map<std::string, std::string> types;
+  std::set<std::string> closed_families;  // families whose run has ended
+  std::string current_family;
+  // Histogram state per (family, labels-minus-le) group, in order.
+  struct BucketSeries {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    bool saw_count = false;
+    double count_value = 0.0;
+    bool saw_sum = false;
+  };
+  std::map<std::string, BucketSeries> histograms;
+
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    const std::size_t nl = body.find('\n', start);
+    const std::string line = body.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? body.size() + 1 : nl + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::size_t sp1 = line.find(' ');
+      if (sp1 != 1) return "comment without space: " + line;
+      const std::size_t sp2 = line.find(' ', 2);
+      const std::string keyword =
+          sp2 == std::string::npos ? line.substr(2) : line.substr(2, sp2 - 2);
+      if (keyword != "HELP" && keyword != "TYPE") continue;  // plain comment
+      if (sp2 == std::string::npos) return "truncated " + keyword + " line";
+      const std::size_t sp3 = line.find(' ', sp2 + 1);
+      const std::string name =
+          sp3 == std::string::npos ? line.substr(sp2 + 1)
+                                   : line.substr(sp2 + 1, sp3 - sp2 - 1);
+      if (!valid_metric_name(name)) {
+        return "bad metric name on " + keyword + " line: " + line;
+      }
+      if (keyword == "HELP") {
+        if (!helped.insert(name).second) return "duplicate HELP for " + name;
+      } else {
+        const std::string type =
+            sp3 == std::string::npos ? "" : line.substr(sp3 + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return "unknown TYPE '" + type + "' for " + name;
+        }
+        if (types.count(name) != 0) return "duplicate TYPE for " + name;
+        types[name] = type;
+      }
+      continue;
+    }
+    Sample sample;
+    const std::string err = parse_sample_line(line, &sample);
+    if (!err.empty()) return err;
+    const std::string family = family_of(sample.name);
+    if (family != current_family) {
+      if (!current_family.empty()) closed_families.insert(current_family);
+      if (closed_families.count(family) != 0) {
+        return "family " + family + " is not contiguous";
+      }
+      current_family = family;
+    }
+    if (types.count(family) == 0) {
+      return "sample before TYPE (or untyped family): " + sample.name;
+    }
+    if (helped.count(family) == 0) {
+      return "sampled family without HELP: " + family;
+    }
+    if (types[family] == "histogram") {
+      std::string group = family + "{";
+      for (const auto& [k, v] : sample.labels) {
+        if (k != "le") group += k + "=" + v + ",";
+      }
+      group += "}";
+      BucketSeries& series = histograms[group];
+      const bool is_bucket =
+          sample.name.size() > 7 &&
+          sample.name.compare(sample.name.size() - 7, 7, "_bucket") == 0;
+      if (is_bucket) {
+        const auto le = sample.labels.find("le");
+        if (le == sample.labels.end()) {
+          return "histogram bucket without le: " + line;
+        }
+        if (series.saw_inf) return "bucket after +Inf in " + group;
+        if (le->second == "+Inf") {
+          series.saw_inf = true;
+          series.inf_value = sample.value;
+          if (!series.buckets.empty() &&
+              sample.value < series.buckets.back().second) {
+            return "+Inf bucket below the previous bucket in " + group;
+          }
+        } else {
+          char* end = nullptr;
+          const double bound = std::strtod(le->second.c_str(), &end);
+          if (end == le->second.c_str() || *end != '\0') {
+            return "unparsable le bound: " + le->second;
+          }
+          if (!series.buckets.empty()) {
+            if (bound <= series.buckets.back().first) {
+              return "le bounds not increasing in " + group;
+            }
+            if (sample.value < series.buckets.back().second) {
+              return "bucket counts not monotonic in " + group;
+            }
+          }
+          series.buckets.emplace_back(bound, sample.value);
+        }
+      } else if (sample.name == family + "_count") {
+        series.saw_count = true;
+        series.count_value = sample.value;
+      } else if (sample.name == family + "_sum") {
+        series.saw_sum = true;
+      } else {
+        return "unexpected sample in histogram family: " + sample.name;
+      }
+    }
+  }
+  for (const auto& [group, series] : histograms) {
+    if (!series.saw_inf) return "histogram without +Inf bucket: " + group;
+    if (!series.saw_count) return "histogram without _count: " + group;
+    if (!series.saw_sum) return "histogram without _sum: " + group;
+    if (series.count_value != series.inf_value) {
+      return "histogram _count != +Inf bucket: " + group;
+    }
+  }
+  return "";
+}
+
+}  // namespace prom_test

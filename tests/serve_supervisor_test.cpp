@@ -1,0 +1,268 @@
+// ShardSupervisor process-management contracts: coordinated SIGTERM
+// drain, crash restart, SIGHUP rollout fan-out, and the crash-loop
+// give-up. Children are real forked processes restricted to syscalls and
+// marker files; the test drives request_drain()/request_rollout() from a
+// watcher thread while run() owns the main thread (glibc's fork locks
+// make allocating in children safe even then, but the children below
+// avoid it anyway).
+//
+// Deliberately NOT in the threaded/TSan label set: TSan and fork() do
+// not mix (the child inherits a locked runtime), and the supervisor is
+// thread-free by design — there is no data-race surface to scan.
+#include <gtest/gtest.h>
+
+#ifdef __unix__
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/supervisor.h"
+
+namespace {
+
+using namespace sqvae;
+
+/// Set by the child's SIGTERM/SIGHUP handlers; file-scope because signal
+/// handlers cannot capture.
+volatile std::sig_atomic_t g_child_term = 0;
+volatile std::sig_atomic_t g_child_hup = 0;
+
+void on_child_term(int) { g_child_term = 1; }
+void on_child_hup(int) { g_child_hup = 1; }
+
+/// Creates an empty marker file via open/close (async-signal-safe-ish
+/// and allocation-free — children stick to syscalls).
+void touch(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd >= 0) ::close(fd);
+}
+
+bool exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+bool eventually(const std::function<bool()>& pred, int seconds = 5) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+/// Unique-per-test scratch paths under the build dir.
+std::string marker(const char* test, int shard, const char* kind) {
+  return std::string("supervisor_test_") + test + "_" +
+         std::to_string(shard) + "_" + kind + "_" +
+         std::to_string(::getpid()) + ".marker";
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : cleanup_) ::unlink(path.c_str());
+  }
+  std::string track(std::string path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(SupervisorTest, DrainStopsEveryShardAndReturnsZero) {
+  serve::SupervisorConfig config;
+  config.workers = 3;
+  serve::ShardSupervisor supervisor(config);
+
+  std::vector<std::string> up_markers;
+  std::vector<std::string> down_markers;
+  for (int i = 0; i < config.workers; ++i) {
+    up_markers.push_back(track(marker("drain", i, "up")));
+    down_markers.push_back(track(marker("drain", i, "down")));
+  }
+
+  // Watcher: wait until every shard reports up, then request the drain.
+  // The drain request is unconditional — run() must return even when the
+  // wait times out, or the test would hang instead of failing.
+  bool came_up = false;
+  std::thread watcher([&] {
+    came_up = eventually([&] {
+      for (const std::string& m : up_markers) {
+        if (!exists(m)) return false;
+      }
+      return true;
+    });
+    supervisor.request_drain();
+  });
+
+  const int status = supervisor.run([&](int shard) {
+    std::signal(SIGTERM, on_child_term);
+    touch(up_markers[static_cast<std::size_t>(shard)]);
+    while (g_child_term == 0) ::usleep(10000);
+    touch(down_markers[static_cast<std::size_t>(shard)]);
+    return 0;
+  });
+  watcher.join();
+
+  EXPECT_TRUE(came_up) << "shards never came up";
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(supervisor.restarts(), 0u);
+  for (const std::string& m : down_markers) {
+    EXPECT_TRUE(exists(m)) << m << ": shard exited without seeing SIGTERM";
+  }
+}
+
+TEST_F(SupervisorTest, CrashedShardIsRestarted) {
+  serve::SupervisorConfig config;
+  config.workers = 1;
+  config.restart_backoff_ms = 10;
+  serve::ShardSupervisor supervisor(config);
+
+  // First incarnation crashes immediately; the restarted incarnation
+  // waits for the drain. The "second life" marker distinguishes them.
+  const std::string first = track(marker("restart", 0, "first"));
+  const std::string second = track(marker("restart", 0, "second"));
+
+  bool came_up = false;
+  std::thread watcher([&] {
+    came_up = eventually([&] { return exists(second); });
+    supervisor.request_drain();
+  });
+
+  const int status = supervisor.run([&](int shard) {
+    (void)shard;
+    if (!exists(first)) {
+      touch(first);
+      return 3;  // crash (non-zero, outside a drain)
+    }
+    std::signal(SIGTERM, on_child_term);
+    touch(second);
+    while (g_child_term == 0) ::usleep(10000);
+    return 0;
+  });
+  watcher.join();
+
+  EXPECT_TRUE(came_up) << "restarted shard never came up";
+  EXPECT_EQ(status, 0);  // the drain generation exited clean
+  EXPECT_GE(supervisor.restarts(), 1u);
+}
+
+TEST_F(SupervisorTest, RolloutFansHupToEveryShard) {
+  serve::SupervisorConfig config;
+  config.workers = 2;
+  serve::ShardSupervisor supervisor(config);
+
+  std::vector<std::string> up_markers;
+  std::vector<std::string> hup_markers;
+  for (int i = 0; i < config.workers; ++i) {
+    up_markers.push_back(track(marker("rollout", i, "up")));
+    hup_markers.push_back(track(marker("rollout", i, "hup")));
+  }
+
+  bool came_up = false;
+  bool rolled = false;
+  std::thread watcher([&] {
+    came_up = eventually([&] {
+      for (const std::string& m : up_markers) {
+        if (!exists(m)) return false;
+      }
+      return true;
+    });
+    if (came_up) {
+      supervisor.request_rollout();
+      rolled = eventually([&] {
+        for (const std::string& m : hup_markers) {
+          if (!exists(m)) return false;
+        }
+        return true;
+      });
+    }
+    supervisor.request_drain();
+  });
+
+  const int status = supervisor.run([&](int shard) {
+    std::signal(SIGTERM, on_child_term);
+    std::signal(SIGHUP, on_child_hup);
+    touch(up_markers[static_cast<std::size_t>(shard)]);
+    bool hupped = false;
+    while (g_child_term == 0) {
+      if (g_child_hup != 0 && !hupped) {
+        hupped = true;
+        touch(hup_markers[static_cast<std::size_t>(shard)]);
+      }
+      ::usleep(10000);
+    }
+    return 0;
+  });
+  watcher.join();
+
+  EXPECT_TRUE(came_up) << "shards never came up";
+  EXPECT_TRUE(rolled) << "rollout did not reach every shard";
+  EXPECT_EQ(status, 0);
+  for (const std::string& m : hup_markers) EXPECT_TRUE(exists(m));
+}
+
+TEST_F(SupervisorTest, CrashLoopGivesUpWithFailureStatus) {
+  serve::SupervisorConfig config;
+  config.workers = 1;
+  config.max_fast_crashes = 3;
+  config.restart_backoff_ms = 1;  // keep the linear backoff fast in tests
+  serve::ShardSupervisor supervisor(config);
+
+  // Every incarnation crashes instantly: the supervisor must give up
+  // after max_fast_crashes and report failure, not spin forever.
+  const int status =
+      supervisor.run([](int) { return 7; }, /*error=*/nullptr);
+  EXPECT_EQ(status, 1);
+  EXPECT_GE(supervisor.restarts(), 2u);
+}
+
+TEST_F(SupervisorTest, NonZeroDrainExitPropagates) {
+  serve::SupervisorConfig config;
+  config.workers = 2;
+  serve::ShardSupervisor supervisor(config);
+
+  std::vector<std::string> up_markers;
+  for (int i = 0; i < config.workers; ++i) {
+    up_markers.push_back(track(marker("dirty", i, "up")));
+  }
+  bool came_up = false;
+  std::thread watcher([&] {
+    came_up = eventually([&] {
+      return exists(up_markers[0]) && exists(up_markers[1]);
+    });
+    supervisor.request_drain();
+  });
+
+  // Shard 1 exits dirty during the drain: run() must return non-zero.
+  const int status = supervisor.run([&](int shard) {
+    std::signal(SIGTERM, on_child_term);
+    touch(up_markers[static_cast<std::size_t>(shard)]);
+    while (g_child_term == 0) ::usleep(10000);
+    return shard == 1 ? 5 : 0;
+  });
+  watcher.join();
+
+  EXPECT_TRUE(came_up) << "shards never came up";
+  EXPECT_NE(status, 0);
+}
+
+}  // namespace
+
+#else  // !__unix__
+
+TEST(SupervisorTest, SkippedOnNonUnix) { GTEST_SKIP(); }
+
+#endif  // __unix__
